@@ -1,0 +1,96 @@
+//! CityTransfer [17] — chain-store site recommendation by SVD-style matrix
+//! factorization with feature regression. Per the paper's setup, the
+//! inter-city knowledge-association module is discarded (single-city task),
+//! leaving the intra-city SVD over (region, type) interactions augmented
+//! with region features.
+
+use crate::common::{region_input_features, Baseline, Setting};
+use crate::mf::{geo_neighbor_lists, FactorModel, MfConfig};
+use siterec_graphs::SiteRecTask;
+
+/// CityTransfer baseline.
+pub struct CityTransfer {
+    setting: Setting,
+    cfg: MfConfig,
+    model: Option<FactorModel>,
+}
+
+impl CityTransfer {
+    /// New model under a feature setting.
+    pub fn new(setting: Setting, seed: u64) -> Self {
+        CityTransfer {
+            setting,
+            cfg: MfConfig {
+                dim: 16,
+                epochs: 150,
+                seed,
+                ..Default::default()
+            },
+            model: None,
+        }
+    }
+}
+
+impl Baseline for CityTransfer {
+    fn name(&self) -> &'static str {
+        "CityTransfer"
+    }
+
+    fn setting(&self) -> Setting {
+        self.setting
+    }
+
+    fn fit(&mut self, task: &SiteRecTask) {
+        let features = region_input_features(task, self.setting);
+        let mut model = FactorModel::new(self.cfg.clone(), task.n_regions, task.n_types, features);
+        let triples: Vec<(usize, usize, f32)> = task
+            .split
+            .train
+            .iter()
+            .map(|i| (i.region, i.ty, i.norm))
+            .collect();
+        model.fit(&triples, &geo_neighbor_lists(task));
+        self.model = Some(model);
+    }
+
+    fn predict(&self, _task: &SiteRecTask, pairs: &[(usize, usize)]) -> Vec<f32> {
+        let m = self.model.as_ref().expect("fit before predict");
+        pairs.iter().map(|&(r, a)| m.score(r, a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siterec_eval::evaluate;
+    use siterec_sim::{O2oDataset, SimConfig};
+
+    #[test]
+    fn citytransfer_beats_constant_predictor() {
+        let d = O2oDataset::generate(SimConfig::tiny(81));
+        let task = SiteRecTask::build(&d, 0.8, 4);
+        let mut m = CityTransfer::new(Setting::Original, 1);
+        m.fit(&task);
+        let res = evaluate(&task.split, |pairs| m.predict(&task, pairs));
+        // Small-sample ranking metrics are noisy; require the learned model
+        // to land clearly above the random-ranking regime (~0.45 at the
+        // harness's truth-to-pool ratio).
+        assert!(res.ndcg3 > 0.5, "ndcg3 {}", res.ndcg3);
+        assert!(res.rmse < 0.5);
+    }
+
+    #[test]
+    fn adaption_setting_uses_wider_features() {
+        let d = O2oDataset::generate(SimConfig::tiny(81));
+        let task = SiteRecTask::build(&d, 0.8, 4);
+        let mut orig = CityTransfer::new(Setting::Original, 1);
+        let mut adapt = CityTransfer::new(Setting::Adaption, 1);
+        orig.fit(&task);
+        adapt.fit(&task);
+        let pairs: Vec<(usize, usize)> =
+            task.split.test.iter().take(10).map(|i| (i.region, i.ty)).collect();
+        assert_ne!(orig.predict(&task, &pairs), adapt.predict(&task, &pairs));
+        assert_eq!(orig.setting().label(), "Original");
+        assert_eq!(adapt.setting().label(), "Adaption");
+    }
+}

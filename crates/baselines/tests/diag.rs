@@ -1,0 +1,49 @@
+//! Diagnostic probe for baseline tuning (run with --ignored --nocapture).
+
+use siterec_baselines::common::Setting;
+use siterec_baselines::{Baseline, BlgCoSvd, CityTransfer};
+use siterec_eval::evaluate;
+use siterec_graphs::SiteRecTask;
+use siterec_sim::{O2oDataset, SimConfig};
+
+#[test]
+#[ignore = "manual diagnostic"]
+fn probe_simple_rankers() {
+    let d = O2oDataset::generate(SimConfig::tiny(81));
+    let task = SiteRecTask::build(&d, 0.8, 4);
+    println!(
+        "train {} test {} types {}",
+        task.split.train.len(),
+        task.split.test.len(),
+        task.n_types
+    );
+
+    // Popularity: total train count of the region.
+    let mut region_pop = vec![0.0f32; task.n_regions];
+    for i in &task.split.train {
+        region_pop[i.region] += i.count as f32;
+    }
+    let pop = evaluate(&task.split, |pairs| {
+        pairs.iter().map(|&(r, _)| region_pop[r]).collect()
+    });
+    println!("popularity ndcg3 {:.4} p3 {:.4}", pop.ndcg3, pop.precision3);
+
+    let rand = evaluate(&task.split, |pairs| {
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ((i * 2654435761) % 1000) as f32 / 1000.0)
+            .collect()
+    });
+    println!("random ndcg3 {:.4} p3 {:.4}", rand.ndcg3, rand.precision3);
+
+    let mut ct = CityTransfer::new(Setting::Original, 1);
+    ct.fit(&task);
+    let r = evaluate(&task.split, |pairs| ct.predict(&task, pairs));
+    println!("citytransfer ndcg3 {:.4} p3 {:.4} rmse {:.4}", r.ndcg3, r.precision3, r.rmse);
+
+    let mut co = BlgCoSvd::new(Setting::Original, 1);
+    co.fit(&task);
+    let r = evaluate(&task.split, |pairs| co.predict(&task, pairs));
+    println!("cosvd ndcg3 {:.4} p3 {:.4} rmse {:.4}", r.ndcg3, r.precision3, r.rmse);
+}

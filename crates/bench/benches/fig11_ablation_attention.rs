@@ -1,0 +1,66 @@
+//! **Fig. 11** — The effect of the two attention mechanisms: O²-SiteRec vs
+//! `w/o NA` (mean aggregation replaces the node-level attention of
+//! Eqs. 10–12) and `w/o SA` (mean pooling replaces the time semantics-level
+//! attention of Eqs. 13–15).
+//!
+//! Paper shape: full model > w/o NA and full model > w/o SA.
+//!
+//! Regenerate with: `cargo bench -p siterec-bench --bench fig11_ablation_attention`
+
+use siterec_bench::context::real_world_or_smoke;
+use siterec_bench::runners::{default_model_config, run_o2};
+use siterec_core::Variant;
+use siterec_eval::Table;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("=== Fig. 11: the effect of attention mechanisms ===\n");
+    let ctx = real_world_or_smoke(0);
+
+    let mut table = Table::new(&["variant", "NDCG@3", "NDCG@5", "Prec@3", "Prec@5"]);
+    let mut scores = Vec::new();
+    for variant in [
+        Variant::Full,
+        Variant::WithoutNodeAttention,
+        Variant::WithoutTimeAttention,
+    ] {
+        // Average over two init seeds to damp ranking noise at this scale.
+        let seeds = [17u64, 19];
+        let mut acc = [0.0f64; 4];
+        for &seed in &seeds {
+            let (res, _) = run_o2(&ctx, default_model_config(variant, seed));
+            acc[0] += res.ndcg3;
+            acc[1] += res.ndcg5;
+            acc[2] += res.precision3;
+            acc[3] += res.precision5;
+            eprintln!("  [{:?}] {} seed {seed} done", t0.elapsed(), variant.label());
+        }
+        let n = seeds.len() as f64;
+        let res = siterec_eval::EvalResult {
+            ndcg3: acc[0] / n,
+            ndcg5: acc[1] / n,
+            precision3: acc[2] / n,
+            precision5: acc[3] / n,
+            ..Default::default()
+        };
+        table.row(vec![
+            variant.label().to_string(),
+            format!("{:.4}", res.ndcg3),
+            format!("{:.4}", res.ndcg5),
+            format!("{:.4}", res.precision3),
+            format!("{:.4}", res.precision5),
+        ]);
+        scores.push(res.ndcg3);
+    }
+    println!("{}", table.render());
+    println!(
+        "shape check: full {:.4} > w/o NA {:.4} -> {}; full > w/o SA {:.4} -> {}",
+        scores[0],
+        scores[1],
+        if scores[0] > scores[1] { "OK" } else { "MISMATCH" },
+        scores[2],
+        if scores[0] > scores[2] { "OK" } else { "MISMATCH" }
+    );
+    println!("total wall time: {:?}", t0.elapsed());
+}

@@ -1,0 +1,91 @@
+//! **Figs. 12–13** — Per-store-type performance of GraphRec, HGT and
+//! O²-SiteRec on six showcase types (light meal, light salad, fruit,
+//! steamed bun, juice, fried chicken).
+//!
+//! Paper shape: O²-SiteRec leads on most types with smaller cross-type
+//! variation than the baselines; "steamed bun" (breakfast) is the weakest
+//! type for every model.
+//!
+//! Regenerate with: `cargo bench -p siterec-bench --bench fig12_13_store_types`
+
+use siterec_baselines::{Baseline, GraphRec, Hgt, Setting};
+use siterec_bench::context::real_world_or_smoke;
+use siterec_bench::runners::{
+    baseline_epochs, default_model_config, run_baseline_with_types, run_o2_with_types,
+};
+use siterec_core::Variant;
+use siterec_eval::{Table, TypeResult};
+use std::time::Instant;
+
+const SHOWCASE: [&str; 6] = [
+    "light meal",
+    "light salad",
+    "fruit",
+    "steamed bun",
+    "juice",
+    "fried chicken",
+];
+
+fn pick(per_type: &[TypeResult], ty: usize) -> Option<&TypeResult> {
+    per_type.iter().find(|t| t.ty == ty)
+}
+
+fn main() {
+    let t0 = Instant::now();
+    println!("=== Figs. 12-13: per-store-type NDCG@3 / Precision@3 ===\n");
+    let ctx = real_world_or_smoke(0);
+    let type_idx: Vec<(usize, &str)> = SHOWCASE
+        .iter()
+        .filter_map(|name| {
+            ctx.data
+                .store_types
+                .iter()
+                .position(|t| t.name == *name)
+                .map(|i| (i, *name))
+        })
+        .collect();
+
+    let (_, o2_types, _) = run_o2_with_types(&ctx, default_model_config(Variant::Full, 17));
+    eprintln!("  [{:?}] O2-SiteRec done", t0.elapsed());
+    let mut hgt = Hgt::new(Setting::Adaption, 7);
+    hgt.set_epochs(baseline_epochs());
+    let (_, hgt_types) = run_baseline_with_types(&ctx, &mut hgt);
+    eprintln!("  [{:?}] HGT done", t0.elapsed());
+    let mut gr = GraphRec::new(Setting::Adaption, 7);
+    gr.set_epochs(baseline_epochs());
+    let (_, gr_types) = run_baseline_with_types(&ctx, &mut gr);
+    eprintln!("  [{:?}] GraphRec done", t0.elapsed());
+
+    for (metric, get) in [
+        ("NDCG@3 (Fig. 12)", (|t: &TypeResult| t.ndcg3) as fn(&TypeResult) -> f64),
+        ("Precision@3 (Fig. 13)", |t: &TypeResult| t.precision3),
+    ] {
+        println!("--- {metric} ---");
+        let mut table = Table::new(&["store type", "GraphRec", "HGT", "O2-SiteRec"]);
+        let mut o2_vals = Vec::new();
+        for &(ty, name) in &type_idx {
+            let cell = |ts: &[TypeResult]| {
+                pick(ts, ty)
+                    .map(|t| format!("{:.4}", get(t)))
+                    .unwrap_or_else(|| "n/a".into())
+            };
+            if let Some(t) = pick(&o2_types, ty) {
+                o2_vals.push(get(t));
+            }
+            table.row(vec![
+                name.to_string(),
+                cell(&gr_types),
+                cell(&hgt_types),
+                cell(&o2_types),
+            ]);
+        }
+        println!("{}", table.render());
+        if !o2_vals.is_empty() {
+            let mean = o2_vals.iter().sum::<f64>() / o2_vals.len() as f64;
+            let var = o2_vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / o2_vals.len() as f64;
+            println!("O2-SiteRec cross-type std: {:.4}\n", var.sqrt());
+        }
+    }
+    println!("total wall time: {:?}", t0.elapsed());
+}

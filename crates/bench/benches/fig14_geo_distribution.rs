@@ -1,0 +1,65 @@
+//! **Fig. 14** — Impact of the geographic distribution of the candidate
+//! region set: evaluation restricted to downtown regions, suburb regions,
+//! and all regions ("average").
+//!
+//! Paper shape: downtown ≥ average > suburb (sparse suburbs are hardest).
+//!
+//! Regenerate with: `cargo bench -p siterec-bench --bench fig14_geo_distribution`
+
+use siterec_bench::context::real_world_or_smoke;
+use siterec_bench::runners::{default_model_config, run_o2};
+use siterec_core::Variant;
+use siterec_eval::{evaluate_subset, Table};
+use siterec_sim::RegionClass;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("=== Fig. 14: impact of the geographic distribution of candidate regions ===\n");
+    let ctx = real_world_or_smoke(0);
+    let (_, model) = run_o2(&ctx, default_model_config(Variant::Full, 17));
+    eprintln!("  [{:?}] model trained", t0.elapsed());
+
+    let class_regions = |class: RegionClass| -> Vec<usize> {
+        ctx.data
+            .city
+            .regions_of_class(class)
+            .iter()
+            .map(|r| r.0)
+            .collect()
+    };
+    // "Downtown" here groups the paper's downtown with the mid-ring (the
+    // synthetic city's inner two-thirds); "suburb" is the outer ring.
+    let mut downtown = class_regions(RegionClass::Downtown);
+    downtown.extend(class_regions(RegionClass::Midtown));
+    let suburb = class_regions(RegionClass::Suburb);
+    let all: Vec<usize> = (0..ctx.task.n_regions).collect();
+
+    let mut table = Table::new(&["candidate distribution", "NDCG@3", "Prec@3", "types"]);
+    let mut scores = Vec::new();
+    for (name, regions) in [
+        ("downtown", &downtown),
+        ("suburb", &suburb),
+        ("average (all)", &all),
+    ] {
+        let res = evaluate_subset(&ctx.task.split, regions, |pairs| model.predict(pairs));
+        table.row(vec![
+            name.to_string(),
+            format!("{:.4}", res.ndcg3),
+            format!("{:.4}", res.precision3),
+            res.types_evaluated.to_string(),
+        ]);
+        scores.push((name, res.ndcg3));
+    }
+    println!("{}", table.render());
+    let (down, sub, avg) = (scores[0].1, scores[1].1, scores[2].1);
+    println!(
+        "shape check: downtown {:.4} >= average {:.4} -> {}; suburb {:.4} lowest -> {}",
+        down,
+        avg,
+        if down >= avg - 0.02 { "OK" } else { "MISMATCH" },
+        sub,
+        if sub <= down && sub <= avg { "OK" } else { "MISMATCH" }
+    );
+    println!("total wall time: {:?}", t0.elapsed());
+}

@@ -1,0 +1,48 @@
+//! **Fig. 15** — Effect of the heterogeneous-graph embedding size `d2`:
+//! NDCG@3 across d2 ∈ {30, 60, 90, 120, 150}.
+//!
+//! Paper shape: stable plateau, best around 90 — too small underfits, too
+//! large adds complexity/overfitting.
+//!
+//! Regenerate with: `cargo bench -p siterec-bench --bench fig15_embedding_size`
+
+use siterec_bench::context::real_world_or_smoke;
+use siterec_bench::runners::{default_model_config, run_o2};
+use siterec_core::Variant;
+use siterec_eval::Table;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("=== Fig. 15: effect of different embedding sizes (d2) ===\n");
+    let ctx = real_world_or_smoke(0);
+
+    let mut table = Table::new(&["embedding size", "NDCG@3", "Prec@3"]);
+    let mut results = Vec::new();
+    for d2 in [30usize, 60, 90, 120, 150] {
+        let mut cfg = default_model_config(Variant::Full, 17);
+        cfg.d2 = d2;
+        let (res, _) = run_o2(&ctx, cfg);
+        eprintln!("  [{:?}] d2 = {d2} done", t0.elapsed());
+        table.row(vec![
+            d2.to_string(),
+            format!("{:.4}", res.ndcg3),
+            format!("{:.4}", res.precision3),
+        ]);
+        results.push((d2, res.ndcg3));
+    }
+    println!("{}", table.render());
+    let spread = results.iter().map(|r| r.1).fold(f64::MIN, f64::max)
+        - results.iter().map(|r| r.1).fold(f64::MAX, f64::min);
+    let best = results
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!(
+        "best d2 = {} (paper: 90); spread across sizes {:.4} -> {}",
+        best.0,
+        spread,
+        if spread < 0.15 { "OK: relatively stable (matches paper)" } else { "check: high sensitivity" }
+    );
+    println!("total wall time: {:?}", t0.elapsed());
+}

@@ -1,0 +1,42 @@
+//! **Fig. 16** — Sensitivity to the loss trade-off `β` in
+//! `Loss = O2 + β·O1` (Eq. 17): NDCG@3 across β ∈ {0.05, 0.1, 0.2, 0.5, 1.0}.
+//!
+//! Paper shape: overall stable; β = 0.2 is the chosen operating point.
+//!
+//! Regenerate with: `cargo bench -p siterec-bench --bench fig16_beta`
+
+use siterec_bench::context::real_world_or_smoke;
+use siterec_bench::runners::{default_model_config, run_o2};
+use siterec_core::Variant;
+use siterec_eval::Table;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("=== Fig. 16: performance with different beta ===\n");
+    let ctx = real_world_or_smoke(0);
+
+    let mut table = Table::new(&["beta", "NDCG@3", "Prec@3"]);
+    let mut results = Vec::new();
+    for beta in [0.05f32, 0.1, 0.2, 0.5, 1.0] {
+        let mut cfg = default_model_config(Variant::Full, 17);
+        cfg.beta = beta;
+        let (res, _) = run_o2(&ctx, cfg);
+        eprintln!("  [{:?}] beta = {beta} done", t0.elapsed());
+        table.row(vec![
+            format!("{beta}"),
+            format!("{:.4}", res.ndcg3),
+            format!("{:.4}", res.precision3),
+        ]);
+        results.push((beta, res.ndcg3));
+    }
+    println!("{}", table.render());
+    let spread = results.iter().map(|r| r.1).fold(f64::MIN, f64::max)
+        - results.iter().map(|r| r.1).fold(f64::MAX, f64::min);
+    println!(
+        "spread across beta: {:.4} -> {} (paper: overall stable, 0.2 best)",
+        spread,
+        if spread < 0.15 { "OK: stable" } else { "check: high sensitivity" }
+    );
+    println!("total wall time: {:?}", t0.elapsed());
+}

@@ -1,0 +1,40 @@
+//! **Fig. 1** — Order and courier counts and the supply-demand ratio per
+//! 2-hour slot. The paper's observation: couriers and orders both peak at
+//! the noon (10–14) and evening (16–20) rushes, but the supply-demand ratio
+//! *dips* there — raw courier counts underestimate how restrained capacity is.
+//!
+//! Regenerate with: `cargo bench -p siterec-bench --bench fig1_supply_demand`
+
+use siterec_bench::context::real_world_or_smoke;
+use siterec_eval::Table;
+use siterec_geo::Slot2h;
+
+fn main() {
+    println!("=== Fig. 1: order and courier count / supply-demand ratio by 2-hour slot ===\n");
+    let ctx = real_world_or_smoke(0);
+    let data = &ctx.data;
+    let orders = data.normalized_orders_by_slot();
+    let couriers = data.couriers_by_slot();
+    let ratio = data.supply_demand_ratio_by_slot();
+    let max_couriers = couriers.iter().copied().fold(f64::MIN, f64::max).max(1e-9);
+
+    let mut table = Table::new(&["slot", "orders (norm)", "couriers (norm)", "supply/demand (norm)"]);
+    for i in 0..12 {
+        table.row(vec![
+            Slot2h(i as u32).label(),
+            format!("{:.3}", orders[i]),
+            format!("{:.3}", couriers[i] / max_couriers),
+            format!("{:.3}", ratio[i]),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let lunch = ratio[5]; // 10-12
+    let afternoon = ratio[7]; // 14-16
+    println!(
+        "shape check: lunch-rush ratio {:.3} < afternoon ratio {:.3} -> {}",
+        lunch,
+        afternoon,
+        if lunch < afternoon { "OK (matches paper)" } else { "MISMATCH" }
+    );
+}

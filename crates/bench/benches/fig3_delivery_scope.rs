@@ -1,0 +1,35 @@
+//! **Fig. 3** — Average delivery scope (farthest delivery distance) of
+//! stores per period. The platform's pressure control shrinks scopes at
+//! rush hours and widens them in the afternoon lull.
+//!
+//! Regenerate with: `cargo bench -p siterec-bench --bench fig3_delivery_scope`
+
+use siterec_bench::context::real_world_or_smoke;
+use siterec_eval::Table;
+use siterec_geo::Period;
+
+fn main() {
+    println!("=== Fig. 3: average delivery scope by period ===\n");
+    let ctx = real_world_or_smoke(0);
+    // Cells need enough orders for the farthest distance to saturate the
+    // platform's scope cap (see O2oDataset::mean_farthest_distance_by_period).
+    let scope = ctx.data.mean_farthest_distance_by_period(6);
+
+    let mut table = Table::new(&["period", "avg farthest delivery distance (km)"]);
+    for p in Period::ALL {
+        table.row(vec![
+            p.label().to_string(),
+            format!("{:.2}", scope[p.index()] / 1000.0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let noon = scope[Period::NoonRush.index()];
+    let afternoon = scope[Period::Afternoon.index()];
+    println!(
+        "shape check: noon-rush scope {:.2} km < afternoon scope {:.2} km -> {}",
+        noon / 1000.0,
+        afternoon / 1000.0,
+        if noon < afternoon { "OK (pressure control, matches paper)" } else { "MISMATCH" }
+    );
+}

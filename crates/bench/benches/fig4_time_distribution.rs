@@ -1,0 +1,55 @@
+//! **Fig. 4** — Distribution of delivery time at a fixed delivery distance
+//! (2.5–3 km) per period: most orders land in the 20–30 min band at rush
+//! hours, and order counts decay as delivery time grows (customers will not
+//! tolerate long waits).
+//!
+//! Regenerate with: `cargo bench -p siterec-bench --bench fig4_time_distribution`
+
+use siterec_bench::context::real_world_or_smoke;
+use siterec_eval::Table;
+use siterec_geo::Period;
+
+fn main() {
+    println!("=== Fig. 4: delivery-time distribution at 2.5-3.0 km, by period ===\n");
+    let ctx = real_world_or_smoke(0);
+    let bin = 10.0;
+    let max = 80.0;
+    let hist = ctx.data.delivery_time_histogram(2_500.0, 3_000.0, bin, max);
+    let nbins = (max / bin) as usize;
+
+    let mut header: Vec<String> = vec!["period".into()];
+    for b in 0..nbins {
+        header.push(format!("{}-{}m", b * 10, b * 10 + 10));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for p in Period::ALL {
+        let mut row = vec![p.label().to_string()];
+        for b in 0..nbins {
+            row.push(hist[p.index()][b].to_string());
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    // Shape checks: the modal band at rush hours sits in 20-40 min, and the
+    // tail decays.
+    let noon = &hist[Period::NoonRush.index()];
+    let modal = noon
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(b, _)| b)
+        .unwrap_or(0);
+    println!(
+        "noon-rush modal band: {}-{} min -> {}",
+        modal * 10,
+        modal * 10 + 10,
+        if (2..=3).contains(&modal) { "OK (paper: 20-30 min)" } else { "check" }
+    );
+    let tail_decays = noon[4] >= noon[6];
+    println!(
+        "tail decay (40-50 min >= 60-70 min): {}",
+        if tail_decays { "OK" } else { "MISMATCH" }
+    );
+}

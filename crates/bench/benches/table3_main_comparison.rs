@@ -1,0 +1,133 @@
+//! **Table III** — Performance comparison of different approaches on the
+//! real-world-like dataset: six baselines in Original and Adaption settings
+//! versus O²-SiteRec, over NDCG@{3,5,10}, Precision@{3,5,10} and RMSE, with
+//! a paired t-test against the strongest baseline (HGT) across matched rounds.
+//!
+//! Regenerate with: `cargo bench -p siterec-bench --bench table3_main_comparison`
+//! (set `SITEREC_ROUNDS` to change the number of repeated rounds, and
+//! `SITEREC_SMOKE=1` for a CI-scale smoke run).
+
+use siterec_baselines::{all_baselines, Baseline, Hgt, Setting};
+use siterec_bench::context::real_world_or_smoke;
+use siterec_bench::runners::{baseline_epochs, default_model_config, run_baseline, run_o2};
+use siterec_core::Variant;
+use siterec_eval::stats::paired_t_test;
+use siterec_eval::{full_metric_cells, stars, EvalResult, Table};
+use std::time::Instant;
+
+fn rounds() -> u64 {
+    std::env::var("SITEREC_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let rounds = rounds();
+    println!("=== Table III: performance comparison on the real-world-like dataset ===");
+    println!("(rounds = {rounds}; O2-SiteRec and HGT-Adaption repeated every round for the t-test)\n");
+
+    // Round 0 carries the full baseline grid; O2-SiteRec and HGT (the t-test
+    // pair) run in every round.
+    let mut o2_ndcg3 = Vec::new();
+    let mut hgt_ndcg3 = Vec::new();
+    let mut o2_results: Vec<EvalResult> = Vec::new();
+    let mut hgt_results: Vec<EvalResult> = Vec::new();
+    let mut baseline_rows: Vec<(String, String, EvalResult)> = Vec::new();
+
+    for round in 0..rounds {
+        let ctx = real_world_or_smoke(round);
+        if round == 0 {
+            println!(
+                "dataset: {} orders, {} stores, {} regions, {} types; train {} / test {} interactions\n",
+                ctx.data.orders.len(),
+                ctx.data.stores.len(),
+                ctx.data.num_regions(),
+                ctx.data.num_types(),
+                ctx.task.split.train.len(),
+                ctx.task.split.test.len()
+            );
+            for setting in [Setting::Original, Setting::Adaption] {
+                for mut b in all_baselines(setting, 7 + round) {
+                    // HGT-Adaption is handled by the per-round loop below.
+                    if b.name() == "HGT" && setting == Setting::Adaption {
+                        continue;
+                    }
+                    b.set_epochs(baseline_epochs());
+                    let res = run_baseline(&ctx, b.as_mut());
+                    eprintln!(
+                        "  [{:?}] {} {} done",
+                        t0.elapsed(),
+                        b.name(),
+                        setting.label()
+                    );
+                    baseline_rows.push((b.name().to_string(), setting.label().to_string(), res));
+                }
+            }
+        }
+        // The t-test pair, every round.
+        let mut hgt = Hgt::new(Setting::Adaption, 7 + round);
+        hgt.set_epochs(baseline_epochs());
+        let hgt_res = run_baseline(&ctx, &mut hgt);
+        hgt_ndcg3.push(hgt_res.ndcg3);
+        hgt_results.push(hgt_res);
+        eprintln!("  [{:?}] HGT Adaption round {round} done", t0.elapsed());
+
+        let (o2_res, _) = run_o2(&ctx, default_model_config(Variant::Full, 17 + round));
+        o2_ndcg3.push(o2_res.ndcg3);
+        o2_results.push(o2_res);
+        eprintln!("  [{:?}] O2-SiteRec round {round} done", t0.elapsed());
+    }
+
+    let mean_res = |rs: &[EvalResult]| -> EvalResult {
+        let n = rs.len() as f64;
+        EvalResult {
+            ndcg3: rs.iter().map(|r| r.ndcg3).sum::<f64>() / n,
+            ndcg5: rs.iter().map(|r| r.ndcg5).sum::<f64>() / n,
+            ndcg10: rs.iter().map(|r| r.ndcg10).sum::<f64>() / n,
+            precision3: rs.iter().map(|r| r.precision3).sum::<f64>() / n,
+            precision5: rs.iter().map(|r| r.precision5).sum::<f64>() / n,
+            precision10: rs.iter().map(|r| r.precision10).sum::<f64>() / n,
+            rmse: rs.iter().map(|r| r.rmse).sum::<f64>() / n,
+            types_evaluated: rs[0].types_evaluated,
+        }
+    };
+
+    let mut table = Table::new(&[
+        "model", "setting", "NDCG@3", "NDCG@5", "NDCG@10", "Prec@3", "Prec@5", "Prec@10", "RMSE",
+    ]);
+    for (name, setting, res) in &baseline_rows {
+        let mut cells = vec![name.clone(), setting.clone()];
+        cells.extend(full_metric_cells(res));
+        table.row(cells);
+    }
+    let hgt_mean = mean_res(&hgt_results);
+    let mut cells = vec!["HGT".to_string(), "Adaption".to_string()];
+    cells.extend(full_metric_cells(&hgt_mean));
+    table.row(cells);
+
+    let o2_mean = mean_res(&o2_results);
+    let sig = paired_t_test(&o2_ndcg3, &hgt_ndcg3)
+        .map(|t| stars(t.p_two_tailed))
+        .unwrap_or("");
+    let mut cells = vec![format!("O2-SiteRec{sig}"), "-".to_string()];
+    cells.extend(full_metric_cells(&o2_mean));
+    table.row(cells);
+
+    println!("{}", table.render());
+    if let Some(t) = paired_t_test(&o2_ndcg3, &hgt_ndcg3) {
+        println!(
+            "t-test O2-SiteRec vs HGT-Adaption on NDCG@3: t = {:.3}, p = {:.4} {}",
+            t.t,
+            t.p_two_tailed,
+            stars(t.p_two_tailed)
+        );
+    }
+    println!(
+        "\nimprovement over HGT-Adaption: NDCG@3 {:+.2}%, Precision@3 {:+.2}%  (paper: +12.18%, +9.01%)",
+        100.0 * (o2_mean.ndcg3 - hgt_mean.ndcg3) / hgt_mean.ndcg3,
+        100.0 * (o2_mean.precision3 - hgt_mean.precision3) / hgt_mean.precision3
+    );
+    println!("total wall time: {:?}", t0.elapsed());
+}

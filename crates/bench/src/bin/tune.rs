@@ -1,0 +1,89 @@
+//! Hyper-parameter probe for the experiment-scale O²-SiteRec config (not a
+//! paper artifact; used to pick the defaults recorded in DESIGN.md §3).
+//!
+//! Run with: `cargo run --release -p siterec-bench --bin tune -- [grid|seeds]`
+
+use siterec_bench::context::Context;
+use siterec_bench::runners::run_o2;
+use siterec_core::{SiteRecConfig, Variant};
+use std::time::Instant;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "grid".into());
+    let ctx = Context::real_world(0);
+    println!(
+        "context: {} train / {} test interactions",
+        ctx.task.split.train.len(),
+        ctx.task.split.test.len()
+    );
+    let run = |d2: usize, epochs: usize, lr: f32, seed: u64| {
+        run_dropout(&ctx, d2, epochs, lr, seed, 0.1)
+    };
+    fn run_dropout(
+        ctx: &Context,
+        d2: usize,
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+        dropout: f32,
+    ) {
+        run_full(ctx, d2, epochs, lr, seed, dropout, 5.0)
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn run_full(
+        ctx: &Context,
+        d2: usize,
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+        dropout: f32,
+        grad_clip: f32,
+    ) {
+        let cfg = SiteRecConfig {
+            d2,
+            epochs,
+            lr,
+            seed,
+            dropout,
+            grad_clip,
+            variant: Variant::Full,
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let (res, model) = run_o2(ctx, cfg);
+        let last = model.history().last().unwrap();
+        println!(
+            "d2={d2:<3} epochs={epochs:<3} lr={lr:<6} drop={dropout:<4} seed={seed:<3} -> ndcg3 {:.4} p3 {:.4} rmse {:.4} | train loss {:.5} (o2 {:.5}) in {:?}",
+            res.ndcg3, res.precision3, res.rmse, last.loss, last.o2, t.elapsed()
+        );
+    }
+    match mode.as_str() {
+        "seeds" => {
+            for seed in [17u64, 18, 19, 20] {
+                run_dropout(&ctx, 60, 40, 5e-3, seed, 0.3);
+            }
+        }
+        "long" => {
+            run(60, 90, 5e-3, 17);
+            run(90, 70, 5e-3, 17);
+        }
+        "stab" => {
+            for seed in [17u64, 18, 19, 20] {
+                run_full(&ctx, 60, 30, 1e-2, seed, 0.3, 1.0);
+            }
+            run_full(&ctx, 60, 40, 5e-3, 18, 0.3, 1.0);
+        }
+        "reg" => {
+            run_dropout(&ctx, 60, 45, 1e-2, 17, 0.2);
+            run_dropout(&ctx, 60, 45, 1e-2, 17, 0.3);
+            run_dropout(&ctx, 60, 30, 1e-2, 17, 0.1);
+            run_dropout(&ctx, 60, 30, 1e-2, 17, 0.3);
+        }
+        _ => {
+            run(60, 45, 5e-3, 17);
+            run(90, 45, 5e-3, 17);
+            run(60, 45, 1e-2, 17);
+            run(60, 90, 5e-3, 17);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Experiment contexts: the datasets and tasks the benches run on.
+
+use siterec_graphs::SiteRecTask;
+use siterec_sim::{O2oDataset, SimConfig};
+
+/// Train fraction used by all experiments (paper: 80%).
+pub const TRAIN_FRAC: f64 = 0.8;
+
+/// A generated dataset plus its prepared learning task.
+pub struct Context {
+    /// The simulated platform month.
+    pub data: O2oDataset,
+    /// The prepared graphs + split.
+    pub task: SiteRecTask,
+}
+
+impl Context {
+    /// Build a context from a simulation config and split seed.
+    pub fn build(config: SimConfig, split_seed: u64) -> Context {
+        let data = O2oDataset::generate(config);
+        let task = SiteRecTask::build(&data, TRAIN_FRAC, split_seed);
+        Context { data, task }
+    }
+
+    /// The paper's "real-world data" analogue at experiment scale
+    /// (Tables II–III, Figs. 1–5, 10–16).
+    pub fn real_world(round: u64) -> Context {
+        Context::build(SimConfig::experiment(42), 100 + round)
+    }
+
+    /// The paper's "simulation data" analogue (Table IV).
+    pub fn open_sim(round: u64) -> Context {
+        Context::build(SimConfig::experiment_open_sim(43), 200 + round)
+    }
+}
+
+/// Allow `SMOKE=1` (set by the test suite) to shrink bench workloads so the
+/// table code paths run in CI-scale time.
+pub fn is_smoke() -> bool {
+    std::env::var("SITEREC_SMOKE").map_or(false, |v| v == "1")
+}
+
+/// Smoke-scale context (used when [`is_smoke`] is set).
+pub fn smoke_context(round: u64) -> Context {
+    Context::build(SimConfig::tiny(42), 100 + round)
+}
+
+/// Pick the real-world context honoring smoke mode.
+pub fn real_world_or_smoke(round: u64) -> Context {
+    if is_smoke() {
+        smoke_context(round)
+    } else {
+        Context::real_world(round)
+    }
+}
+
+/// Pick the open-sim context honoring smoke mode.
+pub fn open_sim_or_smoke(round: u64) -> Context {
+    if is_smoke() {
+        Context::build(SimConfig::tiny(43), 200 + round)
+    } else {
+        Context::open_sim(round)
+    }
+}

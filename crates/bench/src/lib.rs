@@ -1,0 +1,11 @@
+//! # siterec-bench
+//!
+//! Shared infrastructure for the experiment benches: dataset/task builders,
+//! model runners, and row formatting. Each `benches/<id>.rs` target
+//! regenerates one table or figure of the paper; see DESIGN.md §4 for the
+//! full index.
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod runners;

@@ -1,0 +1,49 @@
+//! # siterec-core
+//!
+//! The O²-SiteRec model (ICDE 2022): store site recommendation under the
+//! online-to-offline model via multi-graph attention networks.
+//!
+//! Three modules, mirroring the paper's Fig. 7:
+//!
+//! 1. **Data processing** lives in [`siterec_graphs`] (features + the three
+//!    input graphs).
+//! 2. **Courier capacity modeling** ([`CapacityModel`], §III-D): a
+//!    multi-semantic relation graph attention network over the region
+//!    geographical graph and courier mobility multi-graph, trained to
+//!    reconstruct delivery times (loss `O1`).
+//! 3. **Heterogeneous multi-graph recommendation** ([`HeteroModel`], §III-E):
+//!    node/edge attribute fusion, node-level multi-head attention
+//!    aggregation (Eqs. 7–12), time semantics-level attention (Eqs. 13–15),
+//!    and MLP prediction (loss `O2`).
+//!
+//! [`O2SiteRec`] trains both jointly with `Loss = O2 + β·O1` (Eq. 17) and
+//! exposes the recommendation API ([`O2SiteRec::recommend`]). The four
+//! ablation [`Variant`]s of §IV-A5 (`w/o Co`, `w/o CoCu`, `w/o NA`,
+//! `w/o SA`) are first-class configuration.
+//!
+//! ```no_run
+//! use siterec_core::{O2SiteRec, SiteRecConfig};
+//! use siterec_graphs::SiteRecTask;
+//! use siterec_sim::{O2oDataset, SimConfig};
+//!
+//! let data = O2oDataset::generate(SimConfig::tiny(1));
+//! let task = SiteRecTask::build(&data, 0.8, 1);
+//! let mut model = O2SiteRec::new(&data, &task, SiteRecConfig::fast());
+//! model.train();
+//! let ranked = model.recommend(/* store type */ 0, &[5, 17, 42]);
+//! println!("best region for type 0: {:?}", ranked[0]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod attention;
+mod capacity;
+mod config;
+mod model;
+mod recommend;
+
+pub use attention::RelationAttention;
+pub use capacity::{CapacityModel, CapacityOutput};
+pub use config::{SiteRecConfig, Variant};
+pub use model::{O2SiteRec, TrainEpoch};
+pub use recommend::HeteroModel;

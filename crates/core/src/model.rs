@@ -1,0 +1,330 @@
+//! The assembled O²-SiteRec model: joint training of the courier capacity
+//! model (`O1`) and the heterogeneous recommendation model (`O2`), with
+//! `Loss = O2 + β·O1` (paper Eq. 17), plus the site-recommendation API.
+
+use crate::capacity::CapacityModel;
+use crate::config::{SiteRecConfig, Variant};
+use crate::recommend::HeteroModel;
+use siterec_graphs::{HeteroGraph, SiteRecTask};
+use siterec_sim::O2oDataset;
+use siterec_tensor::optim::{Adam, Optimizer};
+use siterec_tensor::{Graph, ParamStore, Tensor, Var};
+
+/// Loss trace of one training epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainEpoch {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Combined loss `O2 + β·O1`.
+    pub loss: f32,
+    /// Recommendation loss (MSE, Eq. 16).
+    pub o2: f32,
+    /// Capacity reconstruction loss (L1, Eq. 6).
+    pub o1: f32,
+}
+
+/// The full O²-SiteRec model (or one of its ablation variants).
+pub struct O2SiteRec {
+    cfg: SiteRecConfig,
+    ps: ParamStore,
+    capacity: Option<CapacityModel>,
+    model: HeteroModel,
+    /// Variant-adjusted heterogeneous graph the model was built over.
+    hetero: HeteroGraph,
+    train_s: Vec<usize>,
+    train_a: Vec<usize>,
+    train_targets: Tensor,
+    history: Vec<TrainEpoch>,
+}
+
+impl O2SiteRec {
+    /// Build the model for a task. The ablation variant in `cfg.variant`
+    /// selects both the graph construction and the aggregation functions.
+    pub fn new(data: &O2oDataset, task: &SiteRecTask, cfg: SiteRecConfig) -> O2SiteRec {
+        cfg.validate().expect("invalid SiteRecConfig");
+        let hetero = match cfg.variant {
+            Variant::Full | Variant::WithoutNodeAttention | Variant::WithoutTimeAttention => {
+                task.hetero.clone()
+            }
+            Variant::WithoutCapacity => task.hetero.with_capacity_blind_su(data, &task.split),
+            Variant::WithoutCapacityAndPreference => task.hetero.without_customer_edges(),
+        };
+        let mut ps = ParamStore::new(cfg.seed);
+        let capacity = cfg.variant.uses_capacity().then(|| {
+            CapacityModel::new(
+                &mut ps,
+                task.n_regions,
+                cfg.d1,
+                cfg.layers,
+                &task.geo,
+                &task.mobility,
+            )
+        });
+        let capacity_dim = if capacity.is_some() { 2 * cfg.d1 } else { 0 };
+        let model = HeteroModel::new(&mut ps, &hetero, &cfg, capacity_dim);
+
+        let mut train_s = Vec::with_capacity(task.split.train.len());
+        let mut train_a = Vec::with_capacity(task.split.train.len());
+        let mut targets = Vec::with_capacity(task.split.train.len());
+        for i in &task.split.train {
+            let s = hetero.s_of_region[i.region]
+                .expect("train interaction region must host stores");
+            train_s.push(s);
+            train_a.push(i.ty);
+            targets.push(i.norm);
+        }
+        let train_targets = Tensor::column(&targets);
+
+        O2SiteRec {
+            cfg,
+            ps,
+            capacity,
+            model,
+            hetero,
+            train_s,
+            train_a,
+            train_targets,
+            history: Vec::new(),
+        }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &SiteRecConfig {
+        &self.cfg
+    }
+
+    /// Number of trainable scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.ps.num_weights()
+    }
+
+    /// Loss trace recorded by [`Self::train`].
+    pub fn history(&self) -> &[TrainEpoch] {
+        &self.history
+    }
+
+    fn forward_losses(&self, g: &mut Graph) -> (Var, Var, Var) {
+        let binds = self.ps.bind(g);
+        let (caps, o1) = match &self.capacity {
+            Some(c) => {
+                let out = c.forward(g, &binds);
+                (Some(out.period_embeddings), out.o1)
+            }
+            None => (None, g.constant(Tensor::scalar(0.0))),
+        };
+        let pred = self
+            .model
+            .forward(g, &binds, caps.as_deref(), &self.train_s, &self.train_a);
+        let o2 = g.mse_loss(pred, &self.train_targets);
+        let o1_scaled = g.scale(o1, self.cfg.beta);
+        let loss = g.add(o2, o1_scaled);
+        (loss, o2, o1)
+    }
+
+    /// Full-batch training for `cfg.epochs` epochs with Adam (Eq. 17
+    /// objective). Returns the loss trace.
+    pub fn train(&mut self) -> &[TrainEpoch] {
+        let mut opt = Adam::new(self.cfg.lr);
+        for epoch in 0..self.cfg.epochs {
+            let mut g = Graph::with_seed(self.cfg.seed ^ (epoch as u64) << 1);
+            g.training = true;
+            let binds = self.ps.bind(&mut g);
+            let (caps, o1) = match &self.capacity {
+                Some(c) => {
+                    let out = c.forward(&mut g, &binds);
+                    (Some(out.period_embeddings), out.o1)
+                }
+                None => (None, g.constant(Tensor::scalar(0.0))),
+            };
+            let pred = self.model.forward(
+                &mut g,
+                &binds,
+                caps.as_deref(),
+                &self.train_s,
+                &self.train_a,
+            );
+            let o2 = g.mse_loss(pred, &self.train_targets);
+            let o1_scaled = g.scale(o1, self.cfg.beta);
+            let loss = g.add(o2, o1_scaled);
+
+            let rec = TrainEpoch {
+                epoch,
+                loss: g.value(loss).item(),
+                o2: g.value(o2).item(),
+                o1: g.value(o1).item(),
+            };
+            g.backward(loss);
+            self.ps.zero_grads();
+            self.ps.harvest(&g, &binds);
+            if self.cfg.grad_clip > 0.0 {
+                self.ps.clip_grad_norm(self.cfg.grad_clip);
+            }
+            opt.step(&mut self.ps);
+            self.history.push(rec);
+        }
+        &self.history
+    }
+
+    /// Evaluation-mode losses on the training batch (diagnostic).
+    pub fn current_losses(&self) -> TrainEpoch {
+        let mut g = Graph::new();
+        g.training = false;
+        let (loss, o2, o1) = self.forward_losses(&mut g);
+        TrainEpoch {
+            epoch: self.history.len(),
+            loss: g.value(loss).item(),
+            o2: g.value(o2).item(),
+            o1: g.value(o1).item(),
+        }
+    }
+
+    /// Predict normalized order counts for `(region, type)` pairs
+    /// (evaluation mode, dropout off). Regions that host no stores (hence
+    /// have no store-region node) predict 0.
+    pub fn predict(&self, pairs: &[(usize, usize)]) -> Vec<f32> {
+        let mut node_pairs = Vec::new();
+        let mut slot_of = vec![None; pairs.len()];
+        for (i, &(region, ty)) in pairs.iter().enumerate() {
+            if let Some(s) = self.hetero.s_of_region.get(region).copied().flatten() {
+                slot_of[i] = Some(node_pairs.len());
+                node_pairs.push((s, ty));
+            }
+        }
+        let mut out = vec![0.0f32; pairs.len()];
+        if node_pairs.is_empty() {
+            return out;
+        }
+        let (ss, aa): (Vec<usize>, Vec<usize>) = node_pairs.into_iter().unzip();
+        let mut g = Graph::new();
+        g.training = false;
+        let binds = self.ps.bind(&mut g);
+        let caps = self.capacity.as_ref().map(|c| {
+            let o = c.forward(&mut g, &binds);
+            o.period_embeddings
+        });
+        let pred = self.model.forward(&mut g, &binds, caps.as_deref(), &ss, &aa);
+        let values = g.value(pred);
+        for (i, slot) in slot_of.iter().enumerate() {
+            if let Some(j) = *slot {
+                out[i] = values.get(j, 0);
+            }
+        }
+        out
+    }
+
+    /// Rank candidate regions for a target store type: returns
+    /// `(region, predicted normalized order count)` sorted descending —
+    /// the paper's recommendation output (top-ranked regions are the
+    /// recommended sites).
+    pub fn recommend(&self, ty: usize, candidates: &[usize]) -> Vec<(usize, f32)> {
+        let pairs: Vec<(usize, usize)> = candidates.iter().map(|&r| (r, ty)).collect();
+        let scores = self.predict(&pairs);
+        let mut ranked: Vec<(usize, f32)> = candidates.iter().copied().zip(scores).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siterec_sim::SimConfig;
+
+    fn task() -> (O2oDataset, SiteRecTask) {
+        let d = O2oDataset::generate(SimConfig::tiny(51));
+        let t = SiteRecTask::build(&d, 0.8, 9);
+        (d, t)
+    }
+
+    fn tiny_cfg(variant: Variant) -> SiteRecConfig {
+        SiteRecConfig {
+            d1: 8,
+            d2: 16,
+            node_heads: 2,
+            time_heads: 2,
+            layers: 1,
+            epochs: 8,
+            lr: 1e-2,
+            variant,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (d, t) = task();
+        let mut m = O2SiteRec::new(&d, &t, tiny_cfg(Variant::Full));
+        let hist = m.train().to_vec();
+        assert_eq!(hist.len(), 8);
+        let first = hist.first().unwrap().loss;
+        let last = hist.last().unwrap().loss;
+        assert!(last < first, "loss did not fall: {first} -> {last}");
+        assert!(hist.iter().all(|e| e.loss.is_finite()));
+        assert!(hist.iter().all(|e| e.o1 > 0.0), "O1 inactive in full model");
+    }
+
+    #[test]
+    fn capacity_free_variants_have_zero_o1() {
+        let (d, t) = task();
+        let mut m = O2SiteRec::new(&d, &t, tiny_cfg(Variant::WithoutCapacity));
+        let hist = m.train().to_vec();
+        assert!(hist.iter().all(|e| e.o1 == 0.0));
+        let mut m2 = O2SiteRec::new(&d, &t, tiny_cfg(Variant::WithoutCapacityAndPreference));
+        m2.train();
+        assert!(m2.history().iter().all(|e| e.o1 == 0.0));
+    }
+
+    #[test]
+    fn predictions_cover_test_pairs() {
+        let (d, t) = task();
+        let mut m = O2SiteRec::new(&d, &t, tiny_cfg(Variant::Full));
+        m.train();
+        let pairs: Vec<(usize, usize)> =
+            t.split.test.iter().map(|i| (i.region, i.ty)).collect();
+        let preds = m.predict(&pairs);
+        assert_eq!(preds.len(), pairs.len());
+        for &p in &preds {
+            assert!((0.0..=1.0).contains(&p), "prediction {p} out of range");
+        }
+        // Predictions should not be a constant.
+        let min = preds.iter().copied().fold(f32::MAX, f32::min);
+        let max = preds.iter().copied().fold(f32::MIN, f32::max);
+        assert!(max - min > 1e-4, "constant predictions");
+    }
+
+    #[test]
+    fn recommend_ranks_descending() {
+        let (d, t) = task();
+        let mut m = O2SiteRec::new(&d, &t, tiny_cfg(Variant::Full));
+        m.train();
+        let cands: Vec<usize> = t.split.test.iter().map(|i| i.region).take(10).collect();
+        let ranked = m.recommend(t.split.test[0].ty, &cands);
+        assert_eq!(ranked.len(), cands.len());
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn unknown_region_predicts_zero() {
+        let (d, t) = task();
+        let m = O2SiteRec::new(&d, &t, tiny_cfg(Variant::Full));
+        // A region with no stores: find one.
+        let no_store = (0..t.n_regions)
+            .find(|&r| t.hetero.s_of_region[r].is_none())
+            .expect("tiny city has empty regions");
+        let p = m.predict(&[(no_store, 0)]);
+        assert_eq!(p[0], 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (d, t) = task();
+        let mut a = O2SiteRec::new(&d, &t, tiny_cfg(Variant::Full));
+        let mut b = O2SiteRec::new(&d, &t, tiny_cfg(Variant::Full));
+        a.train();
+        b.train();
+        let pairs: Vec<(usize, usize)> = t.split.test.iter().take(5).map(|i| (i.region, i.ty)).collect();
+        assert_eq!(a.predict(&pairs), b.predict(&pairs));
+    }
+}

@@ -1,0 +1,48 @@
+//! Manual timing probe (run with `cargo test --release -p siterec-core
+//! --test timing -- --ignored --nocapture`); used to size experiment configs.
+
+use siterec_core::{O2SiteRec, SiteRecConfig};
+use siterec_graphs::SiteRecTask;
+use siterec_sim::{O2oDataset, SimConfig};
+use std::time::Instant;
+
+#[test]
+#[ignore = "manual timing probe"]
+fn time_full_model_epoch() {
+    let t0 = Instant::now();
+    let cfg = SimConfig::real_world_like(1);
+    let data = O2oDataset::generate(cfg);
+    println!(
+        "dataset: {} orders, {} stores, {} regions in {:?}",
+        data.orders.len(),
+        data.stores.len(),
+        data.num_regions(),
+        t0.elapsed()
+    );
+    let t1 = Instant::now();
+    let task = SiteRecTask::build(&data, 0.8, 1);
+    let su: usize = task.hetero.su_edges.iter().map(Vec::len).sum();
+    let ua: usize = task.hetero.ua_edges.iter().map(Vec::len).sum();
+    println!(
+        "task: S={} U={} sa={} su={} ua={} train={} test={} in {:?}",
+        task.hetero.num_s(),
+        task.hetero.num_u(),
+        task.hetero.sa_edges.len(),
+        su,
+        ua,
+        task.split.train.len(),
+        task.split.test.len(),
+        t1.elapsed()
+    );
+    let mut model_cfg = SiteRecConfig::default();
+    model_cfg.epochs = 3;
+    let t2 = Instant::now();
+    let mut m = O2SiteRec::new(&data, &task, model_cfg);
+    println!("model: {} weights, built in {:?}", m.num_weights(), t2.elapsed());
+    let t3 = Instant::now();
+    m.train();
+    println!("3 epochs in {:?} ({:?}/epoch)", t3.elapsed(), t3.elapsed() / 3);
+    for e in m.history() {
+        println!("epoch {} loss {:.5} o2 {:.5} o1 {:.5}", e.epoch, e.loss, e.o2, e.o1);
+    }
+}

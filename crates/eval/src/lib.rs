@@ -1,0 +1,22 @@
+//! # siterec-eval
+//!
+//! Evaluation machinery for the O²-SiteRec reproduction (paper §IV-A):
+//! the ranking metrics (NDCG@K with hit-position awareness, Precision@K
+//! against the true top-30, RMSE), the statistics behind the motivation
+//! analysis and significance tests (Pearson correlation, Welch's t-test with
+//! an exact Student-t CDF), and the harness that turns any model's
+//! predictions on the held-out interactions into the paper's table rows.
+
+#![warn(missing_docs)]
+
+mod harness;
+mod metrics;
+mod report;
+pub mod stats;
+
+pub use harness::{
+    evaluate, evaluate_subset, evaluate_with_types, top_n_for, EvalResult, TypeResult,
+    MIN_CANDIDATES,
+};
+pub use metrics::{ndcg_at_k, precision_at_k, rmse, Candidate, TOP_N};
+pub use report::{full_metric_cells, short_metric_cells, stars, Table};

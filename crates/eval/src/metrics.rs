@@ -1,0 +1,214 @@
+//! Ranking and accuracy metrics (paper §IV-A4).
+//!
+//! * **NDCG@K** as defined in Geo-spotting [12] and adopted by the paper:
+//!   binary relevance against the ground-truth top-`N` list, so hits at top
+//!   positions score higher.
+//! * **Precision@K** (Eq. 18): `|L_K ∩ L_N| / K` with `N = 30`.
+//! * **RMSE** on (normalized) order-count predictions.
+
+/// Ground-truth list size `N` used by the ranking metrics (paper: 30).
+pub const TOP_N: usize = 30;
+
+/// One scored candidate region: `(region id, predicted score, true count)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Candidate region id.
+    pub region: usize,
+    /// Model prediction (any monotone score).
+    pub predicted: f32,
+    /// Ground-truth order count.
+    pub actual: f32,
+}
+
+/// Regions of the ground-truth top-`n` by actual count (ties broken by
+/// region id for determinism).
+fn true_top_n(cands: &[Candidate], n: usize) -> Vec<usize> {
+    let mut sorted: Vec<&Candidate> = cands.iter().collect();
+    sorted.sort_by(|a, b| {
+        b.actual
+            .partial_cmp(&a.actual)
+            .expect("finite counts")
+            .then(a.region.cmp(&b.region))
+    });
+    sorted.iter().take(n).map(|c| c.region).collect()
+}
+
+/// Candidates sorted by predicted score descending (ties by region id).
+fn predicted_ranking(cands: &[Candidate]) -> Vec<usize> {
+    let mut sorted: Vec<&Candidate> = cands.iter().collect();
+    sorted.sort_by(|a, b| {
+        b.predicted
+            .partial_cmp(&a.predicted)
+            .expect("finite predictions")
+            .then(a.region.cmp(&b.region))
+    });
+    sorted.iter().map(|c| c.region).collect()
+}
+
+/// NDCG@K with binary relevance against the true top-`n` list.
+///
+/// `DCG = Σ_{i<K} rel_i / log2(i + 2)`, `IDCG` = DCG of a perfect prefix of
+/// hits. Returns a value in `[0, 1]`; 0 for empty candidate sets.
+pub fn ndcg_at_k(cands: &[Candidate], k: usize, n: usize) -> f64 {
+    if cands.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let n = n.min(cands.len());
+    let k = k.min(cands.len());
+    let top: Vec<usize> = true_top_n(cands, n);
+    let ranking = predicted_ranking(cands);
+    let mut dcg = 0.0;
+    for (i, r) in ranking.iter().take(k).enumerate() {
+        if top.contains(r) {
+            dcg += 1.0 / ((i + 2) as f64).log2();
+        }
+    }
+    let ideal_hits = k.min(n);
+    let idcg: f64 = (0..ideal_hits).map(|i| 1.0 / ((i + 2) as f64).log2()).sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Precision@K against the true top-`n` list (paper Eq. 18).
+pub fn precision_at_k(cands: &[Candidate], k: usize, n: usize) -> f64 {
+    if cands.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let n = n.min(cands.len());
+    let k_eff = k.min(cands.len());
+    let top = true_top_n(cands, n);
+    let ranking = predicted_ranking(cands);
+    let hits = ranking.iter().take(k_eff).filter(|r| top.contains(r)).count();
+    hits as f64 / k as f64
+}
+
+/// Root mean squared error between predictions and actuals (both in the
+/// caller's chosen normalization).
+pub fn rmse(pairs: &[(f32, f32)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let se: f64 = pairs
+        .iter()
+        .map(|&(p, a)| {
+            let d = (p - a) as f64;
+            d * d
+        })
+        .sum();
+    (se / pairs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(region: usize, predicted: f32, actual: f32) -> Candidate {
+        Candidate {
+            region,
+            predicted,
+            actual,
+        }
+    }
+
+    /// 6 candidates; true top-3 (n=3) = regions 0, 1, 2.
+    fn pool() -> Vec<Candidate> {
+        vec![
+            cand(0, 0.9, 100.0),
+            cand(1, 0.8, 90.0),
+            cand(2, 0.7, 80.0),
+            cand(3, 0.6, 10.0),
+            cand(4, 0.5, 5.0),
+            cand(5, 0.4, 1.0),
+        ]
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let c = pool();
+        assert!((ndcg_at_k(&c, 3, 3) - 1.0).abs() < 1e-12);
+        assert!((precision_at_k(&c, 3, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_scores_zero() {
+        let mut c = pool();
+        // Invert predictions: the true top-3 now ranks last.
+        for (i, x) in c.iter_mut().enumerate() {
+            x.predicted = i as f32;
+        }
+        assert_eq!(ndcg_at_k(&c, 3, 3), 0.0);
+        assert_eq!(precision_at_k(&c, 3, 3), 0.0);
+    }
+
+    #[test]
+    fn hit_position_matters_for_ndcg_not_precision() {
+        // One hit at rank 1 vs one hit at rank 3 (same precision).
+        let top_first = vec![
+            cand(0, 0.9, 100.0),
+            cand(3, 0.8, 1.0),
+            cand(4, 0.7, 1.0),
+            cand(1, 0.1, 90.0),
+            cand(2, 0.05, 80.0),
+        ];
+        let top_last = vec![
+            cand(3, 0.9, 1.0),
+            cand(4, 0.8, 1.0),
+            cand(0, 0.7, 100.0),
+            cand(1, 0.1, 90.0),
+            cand(2, 0.05, 80.0),
+        ];
+        let n = 3;
+        let a = ndcg_at_k(&top_first, 3, n);
+        let b = ndcg_at_k(&top_last, 3, n);
+        assert!(a > b, "ndcg {a} should exceed {b}");
+        // precision@3 counts hits only — but note the true top-3 includes
+        // regions 0,1,2; both rankings place exactly one of them in the top 3.
+        assert_eq!(precision_at_k(&top_first, 3, n), precision_at_k(&top_last, 3, n));
+    }
+
+    #[test]
+    fn k_larger_than_pool_is_safe() {
+        let c = pool();
+        let v = ndcg_at_k(&c, 50, 30);
+        assert!((0.0..=1.0).contains(&v));
+        let p = precision_at_k(&c, 50, 30);
+        assert!(p <= 1.0);
+    }
+
+    #[test]
+    fn empty_pool_scores_zero() {
+        assert_eq!(ndcg_at_k(&[], 3, 30), 0.0);
+        assert_eq!(precision_at_k(&[], 3, 30), 0.0);
+        assert_eq!(rmse(&[]), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let pairs = vec![(1.0f32, 0.0f32), (0.0, 2.0)];
+        // sqrt((1 + 4) / 2)
+        assert!((rmse(&pairs) - (2.5f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ndcg_monotone_in_hits() {
+        // Two hits in top-3 beats one hit in top-3.
+        let two = vec![
+            cand(0, 0.9, 100.0),
+            cand(1, 0.8, 90.0),
+            cand(4, 0.7, 1.0),
+            cand(2, 0.1, 80.0),
+            cand(5, 0.05, 1.0),
+        ];
+        let one = vec![
+            cand(0, 0.9, 100.0),
+            cand(4, 0.8, 1.0),
+            cand(5, 0.7, 1.0),
+            cand(1, 0.1, 90.0),
+            cand(2, 0.05, 80.0),
+        ];
+        assert!(ndcg_at_k(&two, 3, 3) > ndcg_at_k(&one, 3, 3));
+    }
+}

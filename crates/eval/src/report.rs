@@ -1,0 +1,143 @@
+//! Fixed-width text tables for the experiment benches (the harness prints
+//! the same rows/series the paper's tables and figures report).
+
+use crate::harness::EvalResult;
+
+/// A simple fixed-width table printer.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..ncols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!("{:w$}", s, w = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format an [`EvalResult`] as the Table III column set
+/// `NDCG@3 NDCG@5 NDCG@10 P@3 P@5 P@10 RMSE`.
+pub fn full_metric_cells(r: &EvalResult) -> Vec<String> {
+    vec![
+        format!("{:.4}", r.ndcg3),
+        format!("{:.4}", r.ndcg5),
+        format!("{:.4}", r.ndcg10),
+        format!("{:.4}", r.precision3),
+        format!("{:.4}", r.precision5),
+        format!("{:.4}", r.precision10),
+        format!("{:.4}", r.rmse),
+    ]
+}
+
+/// Format an [`EvalResult`] as the Table IV column set
+/// `NDCG@3 NDCG@5 P@3 P@5`.
+pub fn short_metric_cells(r: &EvalResult) -> Vec<String> {
+    vec![
+        format!("{:.4}", r.ndcg3),
+        format!("{:.4}", r.ndcg5),
+        format!("{:.4}", r.precision3),
+        format!("{:.4}", r.precision5),
+    ]
+}
+
+/// Significance stars from a p-value (`**` at 0.01, `*` at 0.05).
+pub fn stars(p: f64) -> &'static str {
+    if p < 0.01 {
+        "**"
+    } else if p < 0.05 {
+        "*"
+    } else {
+        ""
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["model", "ndcg@3"]);
+        t.row(vec!["HGT".into(), "0.6331".into()]);
+        t.row(vec!["O2-SiteRec".into(), "0.7102".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("model"));
+        assert!(lines[3].contains("0.7102"));
+        // Columns aligned: both data lines have the metric at same offset.
+        let off2 = lines[2].find("0.6331").unwrap();
+        let off3 = lines[3].find("0.7102").unwrap();
+        assert_eq!(off2, off3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn wrong_arity_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn metric_cells_format() {
+        let r = EvalResult {
+            ndcg3: 0.71023,
+            precision3: 0.90342,
+            rmse: 0.0637,
+            ..Default::default()
+        };
+        let cells = full_metric_cells(&r);
+        assert_eq!(cells[0], "0.7102");
+        assert_eq!(cells[3], "0.9034");
+        assert_eq!(cells[6], "0.0637");
+        assert_eq!(short_metric_cells(&r).len(), 4);
+    }
+
+    #[test]
+    fn stars_thresholds() {
+        assert_eq!(stars(0.005), "**");
+        assert_eq!(stars(0.03), "*");
+        assert_eq!(stars(0.2), "");
+    }
+}

@@ -1,0 +1,305 @@
+//! Statistics: Pearson correlation (Table II / Fig. 2) and Welch's t-test
+//! (the significance stars of Tables III/IV).
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut num = 0.0;
+    let mut dx2 = 0.0;
+    let mut dy2 = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        num += dx * dy;
+        dx2 += dx * dx;
+        dy2 += dy * dy;
+    }
+    if dx2 == 0.0 || dy2 == 0.0 {
+        0.0
+    } else {
+        num / (dx2 * dy2).sqrt()
+    }
+}
+
+/// Result of Welch's unequal-variance t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct TTest {
+    /// The t statistic (positive when `a` has the larger mean).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-tailed p-value.
+    pub p_two_tailed: f64,
+}
+
+/// Welch's t-test for the difference of means of two independent samples.
+///
+/// Returns `None` when either sample has fewer than 2 points or both
+/// variances are zero.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return None;
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0)).max(1e-300);
+    let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
+    Some(TTest {
+        t,
+        df,
+        p_two_tailed: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Paired t-test: one-sample t-test on the per-round differences `a_i - b_i`
+/// (the rounds share split seeds, so pairing removes the split variance).
+/// Returns `None` with fewer than 2 pairs or zero-variance differences.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
+    assert_eq!(a.len(), b.len(), "paired t-test length mismatch");
+    if a.len() < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = diffs.len() as f64;
+    let md = mean(&diffs);
+    let vd = variance(&diffs);
+    if vd <= 0.0 {
+        return None;
+    }
+    let t = md / (vd / n).sqrt();
+    let df = n - 1.0;
+    let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
+    Some(TTest {
+        t,
+        df,
+        p_two_tailed: p.clamp(0.0, 1.0),
+    })
+}
+
+/// CDF of Student's t distribution via the regularized incomplete beta
+/// function: `P(T <= t)` for `t >= 0` is `1 - I_x(df/2, 1/2) / 2` with
+/// `x = df / (df + t²)`.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * incomplete_beta(0.5 * df, 0.5, x);
+    if t >= 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Regularized incomplete beta `I_x(a, b)` by continued fractions
+/// (Numerical Recipes `betai`/`betacf`).
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued-fraction core of the incomplete beta function.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // even step
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // odd step
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)`.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 7] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+        0.0,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in G.iter().take(6) {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &zs) + 1.0).abs() < 1e-12);
+        let cs = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&xs, &cs), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1; Γ(5) = 24.
+        assert!(ln_gamma(1.0).abs() < 1e-9);
+        assert!(ln_gamma(2.0).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = sqrt(pi)
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_cdf_reference_points() {
+        // Standard references: T ~ t(df), P(T <= 0) = 0.5.
+        assert!((student_t_cdf(0.0, 7.0) - 0.5).abs() < 1e-9);
+        // t(10): P(T <= 1.812) ≈ 0.95 (one-tailed 0.05 critical value).
+        assert!((student_t_cdf(1.812, 10.0) - 0.95).abs() < 2e-3);
+        // t(30): P(T <= 2.042) ≈ 0.975.
+        assert!((student_t_cdf(2.042, 30.0) - 0.975).abs() < 2e-3);
+        // symmetry
+        assert!((student_t_cdf(-1.5, 5.0) + student_t_cdf(1.5, 5.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_detects_clear_difference() {
+        let a = [0.90, 0.91, 0.89, 0.92, 0.90];
+        let b = [0.80, 0.79, 0.81, 0.80, 0.78];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.t > 5.0);
+        assert!(r.p_two_tailed < 0.01, "p = {}", r.p_two_tailed);
+    }
+
+    #[test]
+    fn welch_accepts_identical_distributions() {
+        let a = [0.5, 0.52, 0.48, 0.51, 0.49];
+        let b = [0.5, 0.49, 0.51, 0.48, 0.52];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.p_two_tailed > 0.5, "p = {}", r.p_two_tailed);
+    }
+
+    #[test]
+    fn welch_degenerate_inputs() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn paired_test_exploits_matched_structure() {
+        // A consistent small per-round edge with large round-to-round drift:
+        // the paired test detects it, the unpaired test cannot.
+        let a = [0.60, 0.72, 0.48, 0.66];
+        let b = [0.58, 0.70, 0.46, 0.64];
+        let paired = paired_t_test(&a, &b).unwrap();
+        assert!(paired.p_two_tailed < 0.01, "p = {}", paired.p_two_tailed);
+        let unpaired = welch_t_test(&a, &b).unwrap();
+        assert!(unpaired.p_two_tailed > paired.p_two_tailed);
+    }
+
+    #[test]
+    fn paired_test_degenerate_inputs() {
+        assert!(paired_t_test(&[1.0], &[2.0]).is_none());
+        assert!(paired_t_test(&[1.0, 2.0], &[0.5, 1.5]).is_none()); // constant diff
+        let sign = paired_t_test(&[1.0, 2.0, 3.1], &[2.0, 3.0, 4.0]).unwrap();
+        assert!(sign.t < 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based invariants of the ranking metrics and statistics.
+
+use proptest::prelude::*;
+use siterec_eval::stats::{mean, pearson, student_t_cdf, variance, welch_t_test};
+use siterec_eval::{ndcg_at_k, precision_at_k, rmse, Candidate};
+
+fn candidates(n: usize) -> impl Strategy<Value = Vec<Candidate>> {
+    prop::collection::vec((0.0f32..1.0, 0.0f32..100.0), n).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(region, (predicted, actual))| Candidate {
+                region,
+                predicted,
+                actual,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NDCG and Precision always land in [0, 1].
+    #[test]
+    fn metrics_bounded(cands in candidates(20), k in 1usize..15, n in 1usize..35) {
+        let v = ndcg_at_k(&cands, k, n);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        let p = precision_at_k(&cands, k, n);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+    }
+
+    /// A perfect predictor scores NDCG = 1 whenever the truth set is
+    /// unambiguous (distinct actuals).
+    #[test]
+    fn oracle_is_perfect(seed in 0u64..1000, k in 1usize..8) {
+        let cands: Vec<Candidate> = (0..15)
+            .map(|i| {
+                let actual = (i as f32) * 3.0 + ((seed % 7) as f32);
+                Candidate { region: i, predicted: actual, actual }
+            })
+            .collect();
+        let v = ndcg_at_k(&cands, k, 5);
+        prop_assert!((v - 1.0).abs() < 1e-9, "ndcg {v}");
+        prop_assert!((precision_at_k(&cands, k, 5) - 1.0).abs() < 1e-9 || k > 5);
+    }
+
+    /// NDCG is invariant to strictly monotone transforms of the predictions.
+    #[test]
+    fn ndcg_rank_invariance(cands in candidates(12), k in 1usize..6) {
+        let transformed: Vec<Candidate> = cands
+            .iter()
+            .map(|c| Candidate {
+                predicted: c.predicted * 10.0 + 5.0,
+                ..*c
+            })
+            .collect();
+        let a = ndcg_at_k(&cands, k, 5);
+        let b = ndcg_at_k(&transformed, k, 5);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    /// RMSE is zero iff predictions equal targets, and symmetric.
+    #[test]
+    fn rmse_properties(pairs in prop::collection::vec((-5.0f32..5.0, -5.0f32..5.0), 1..30)) {
+        let v = rmse(&pairs);
+        prop_assert!(v >= 0.0);
+        let exact: Vec<(f32, f32)> = pairs.iter().map(|&(_, a)| (a, a)).collect();
+        prop_assert_eq!(rmse(&exact), 0.0);
+        let flipped: Vec<(f32, f32)> = pairs.iter().map(|&(p, a)| (a, p)).collect();
+        prop_assert!((rmse(&pairs) - rmse(&flipped)).abs() < 1e-9);
+    }
+
+    /// Pearson is bounded, symmetric, and scale-invariant.
+    #[test]
+    fn pearson_properties(xs in prop::collection::vec(-10.0f64..10.0, 3..30)) {
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let r = pearson(&xs, &ys);
+        // Perfectly linear unless xs is constant.
+        if variance(&xs) > 1e-9 {
+            prop_assert!((r - 1.0).abs() < 1e-6, "r = {r}");
+        }
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        let rn = pearson(&xs, &neg);
+        if variance(&xs) > 1e-9 {
+            prop_assert!((rn + 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// The t CDF is a proper CDF: monotone, symmetric around 0.
+    #[test]
+    fn t_cdf_properties(t in -6.0f64..6.0, df in 2.0f64..60.0) {
+        let c = student_t_cdf(t, df);
+        prop_assert!((0.0..=1.0).contains(&c));
+        let c2 = student_t_cdf(t + 0.5, df);
+        prop_assert!(c2 >= c - 1e-9);
+        let sym = student_t_cdf(-t, df);
+        prop_assert!((c + sym - 1.0).abs() < 1e-9);
+    }
+
+    /// Welch's test is symmetric in sign and detects its own sample mean.
+    #[test]
+    fn welch_properties(
+        a in prop::collection::vec(0.0f64..1.0, 3..12),
+        b in prop::collection::vec(0.0f64..1.0, 3..12),
+    ) {
+        if let Some(r) = welch_t_test(&a, &b) {
+            prop_assert!((0.0..=1.0).contains(&r.p_two_tailed));
+            let flipped = welch_t_test(&b, &a).unwrap();
+            prop_assert!((r.t + flipped.t).abs() < 1e-9);
+            prop_assert!((r.p_two_tailed - flipped.p_two_tailed).abs() < 1e-9);
+            prop_assert_eq!(r.t > 0.0, mean(&a) > mean(&b));
+        }
+    }
+}

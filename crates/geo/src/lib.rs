@@ -1,0 +1,16 @@
+//! # siterec-geo
+//!
+//! Spatial and temporal primitives shared by the O²-SiteRec reproduction:
+//! WGS-84 points with haversine distance, the paper's ξ×ξ grid partition of
+//! the city (Definition 1), and the five daily periods / 2-hour slots its
+//! analysis uses.
+
+#![warn(missing_docs)]
+
+mod grid;
+mod latlon;
+mod period;
+
+pub use grid::{CityGrid, RegionId};
+pub use latlon::{LatLon, EARTH_RADIUS_M};
+pub use period::{Period, SimMinute, Slot2h};

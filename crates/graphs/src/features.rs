@@ -1,0 +1,371 @@
+//! Feature extraction (paper §III-C, Module 1).
+//!
+//! Geographic features (POI set, POI diversity, traffic convenience, store
+//! diversity) become node attributes of store-region and customer-region
+//! nodes; commercial features (competitiveness, complementarity) become
+//! attributes of S-A edges; distance and historical transactions become
+//! attributes of S-U edges.
+
+use siterec_geo::{Period, RegionId};
+use siterec_sim::O2oDataset;
+
+/// Radius that defines "nearby stores" for competitiveness (the paper's
+/// geographic proximity threshold, 800 m).
+const NEARBY_M: f64 = 800.0;
+
+/// Shannon entropy of a count vector (natural log), the paper's diversity
+/// measure. Zero for empty or single-category vectors.
+pub fn entropy(counts: &[u32]) -> f64 {
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total as f64;
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+/// Per-region geographic feature matrix.
+///
+/// Layout per row: `[poi_set (NUM_POI_TYPES), poi_diversity, intersections,
+/// roads, store_diversity]`, each column max-normalized to `[0, 1]` across
+/// regions.
+pub fn region_features(data: &O2oDataset) -> Vec<Vec<f32>> {
+    let n = data.num_regions();
+    let stores_rt = data.stores_per_region_type();
+    let dim = siterec_sim::NUM_POI_TYPES + 4;
+    let mut feats = vec![vec![0.0f32; dim]; n];
+    for r in 0..n {
+        let p = &data.city.regions[r];
+        for (k, &c) in p.pois.iter().enumerate() {
+            feats[r][k] = c as f32;
+        }
+        let base = siterec_sim::NUM_POI_TYPES;
+        feats[r][base] = entropy(&p.pois) as f32;
+        feats[r][base + 1] = p.intersections as f32;
+        feats[r][base + 2] = p.roads as f32;
+        feats[r][base + 3] = entropy(&stores_rt[r]) as f32;
+    }
+    max_normalize_columns(&mut feats);
+    feats
+}
+
+/// Dimension of the [`region_features`] vectors.
+pub fn region_feature_dim() -> usize {
+    siterec_sim::NUM_POI_TYPES + 4
+}
+
+/// Max-normalize each column of a feature matrix in place.
+pub fn max_normalize_columns(feats: &mut [Vec<f32>]) {
+    if feats.is_empty() {
+        return;
+    }
+    let dim = feats[0].len();
+    for c in 0..dim {
+        let max = feats
+            .iter()
+            .map(|row| row[c].abs())
+            .fold(0.0f32, f32::max)
+            .max(1e-9);
+        for row in feats.iter_mut() {
+            row[c] /= max;
+        }
+    }
+}
+
+/// Competitiveness of type `a` in region `s` (paper §III-C): stores of the
+/// same type in the region divided by the total number of nearby stores.
+pub fn competitiveness(data: &O2oDataset, stores_rt: &[Vec<u32>], s: RegionId, a: usize) -> f64 {
+    let same = stores_rt[s.0][a] as f64;
+    let mut nearby: u64 = stores_rt[s.0].iter().map(|&x| x as u64).sum();
+    for r in data.city.grid.neighbors_within(s, NEARBY_M) {
+        nearby += stores_rt[r.0].iter().map(|&x| x as u64).sum::<u64>();
+    }
+    if nearby == 0 {
+        0.0
+    } else {
+        same / nearby as f64
+    }
+}
+
+/// Pre-computed complementarity statistics shared across (s, a) queries.
+pub struct Complementarity {
+    /// `rho[a*][a] = 2 N_set(a*, a) / (N_A (N_A - 1))` — co-appearance rate.
+    rho: Vec<Vec<f64>>,
+    /// `N_{a*}`: mean number of stores of each type over all regions.
+    mean_count: Vec<f64>,
+    n_types: usize,
+}
+
+impl Complementarity {
+    /// Build from the per-(region, type) store counts.
+    pub fn new(stores_rt: &[Vec<u32>], n_types: usize) -> Self {
+        let n_regions = stores_rt.len();
+        let mut co = vec![vec![0u32; n_types]; n_types];
+        for counts in stores_rt {
+            for a in 0..n_types {
+                if counts[a] == 0 {
+                    continue;
+                }
+                for b in 0..n_types {
+                    if b != a && counts[b] > 0 {
+                        co[a][b] += 1;
+                    }
+                }
+            }
+        }
+        let denom = (n_types * n_types.saturating_sub(1)).max(1) as f64;
+        let rho = co
+            .iter()
+            .map(|row| row.iter().map(|&c| 2.0 * c as f64 / denom).collect())
+            .collect();
+        let mean_count = (0..n_types)
+            .map(|a| {
+                stores_rt.iter().map(|r| r[a] as f64).sum::<f64>() / n_regions.max(1) as f64
+            })
+            .collect();
+        Complementarity {
+            rho,
+            mean_count,
+            n_types,
+        }
+    }
+
+    /// `f^cp_{sa} = Σ_{a*≠a, ρ>0} log(ρ_{a*-a}) (N_{s a*} - N_{a*})`
+    /// (paper Eq. in §III-C; pairs that never co-appear are skipped since
+    /// `log 0` is undefined).
+    pub fn score(&self, stores_in_region: &[u32], a: usize) -> f64 {
+        let mut f = 0.0;
+        for a_star in 0..self.n_types {
+            if a_star == a {
+                continue;
+            }
+            let rho = self.rho[a_star][a];
+            if rho <= 0.0 {
+                continue;
+            }
+            f += rho.ln() * (stores_in_region[a_star] as f64 - self.mean_count[a_star]);
+        }
+        f
+    }
+}
+
+/// Per-region "Adaption" features added to baselines (§IV-A5): average
+/// historical delivery time, customer-preference counts of all regions within
+/// `pref_radius_m`, and a centrality/location feature. Missing values are
+/// filled with the mean of nearby regions, as in the paper.
+///
+/// When `mask` is given, only orders with `mask[i] == true` (training orders)
+/// contribute, so held-out labels cannot leak into baseline inputs.
+pub fn adaption_features(
+    data: &O2oDataset,
+    pref_radius_m: f64,
+    mask: Option<&[bool]>,
+) -> Vec<Vec<f32>> {
+    let n = data.num_regions();
+    let n_types = data.num_types();
+    let keep = |i: usize| mask.map_or(true, |m| m[i]);
+    // Mean delivery time per region (over orders departing the region).
+    let mut dt_sum = vec![0.0f64; n];
+    let mut dt_cnt = vec![0u64; n];
+    for (i, o) in data.orders.iter().enumerate() {
+        if !keep(i) {
+            continue;
+        }
+        dt_sum[o.store_region.0] += o.delivery_minutes();
+        dt_cnt[o.store_region.0] += 1;
+    }
+    let mut dt = vec![f32::NAN; n];
+    for r in 0..n {
+        if dt_cnt[r] > 0 {
+            dt[r] = (dt_sum[r] / dt_cnt[r] as f64) as f32;
+        }
+    }
+    // Fill missing with neighbor means.
+    for r in 0..n {
+        if dt[r].is_nan() {
+            let nb = data.city.grid.neighbors_within(RegionId(r), NEARBY_M * 2.0);
+            let vals: Vec<f32> = nb.iter().filter_map(|x| {
+                let v = dt[x.0];
+                (!v.is_nan()).then_some(v)
+            }).collect();
+            dt[r] = if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<f32>() / vals.len() as f32
+            };
+        }
+    }
+
+    let mut prefs = vec![vec![0u32; n_types]; n];
+    for (i, o) in data.orders.iter().enumerate() {
+        if keep(i) {
+            prefs[o.customer_region.0][o.ty.0] += 1;
+        }
+    }
+    let mut out = vec![vec![0.0f32; 1 + n_types + 1]; n];
+    for r in 0..n {
+        out[r][0] = dt[r];
+        let mut agg = vec![0u64; n_types];
+        let mut near = data.city.grid.neighbors_within(RegionId(r), pref_radius_m);
+        near.push(RegionId(r));
+        for u in near {
+            for a in 0..n_types {
+                agg[a] += prefs[u.0][a] as u64;
+            }
+        }
+        for a in 0..n_types {
+            // sqrt-compress the heavy-tailed count distribution so the
+            // max-normalized feature stays discriminative off-downtown.
+            out[r][1 + a] = (agg[a] as f32).sqrt();
+        }
+        out[r][1 + n_types] = data.city.grid.centrality(RegionId(r)) as f32;
+    }
+    max_normalize_columns(&mut out);
+    out
+}
+
+/// Mean delivery time between region pairs, per period — the attribute of the
+/// courier mobility multi-graph edges (Definition 3). Returns
+/// `map[(from, to, period)] -> (mean minutes, count)` entries as a flat list.
+pub fn pairwise_delivery_times(
+    data: &O2oDataset,
+    min_orders: usize,
+) -> Vec<(usize, usize, Period, f64, usize)> {
+    use std::collections::HashMap;
+    let mut acc: HashMap<(usize, usize, usize), (f64, usize)> = HashMap::new();
+    for o in &data.orders {
+        let key = (o.store_region.0, o.customer_region.0, o.period().index());
+        let e = acc.entry(key).or_insert((0.0, 0));
+        e.0 += o.delivery_minutes();
+        e.1 += 1;
+    }
+    let mut out: Vec<(usize, usize, Period, f64, usize)> = acc
+        .into_iter()
+        .filter(|(_, (_, c))| *c >= min_orders)
+        .map(|((f, t, p), (sum, c))| (f, t, Period::from_index(p), sum / c as f64, c))
+        .collect();
+    out.sort_by_key(|&(f, t, p, _, _)| (f, t, p.index()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siterec_sim::SimConfig;
+
+    fn data() -> O2oDataset {
+        O2oDataset::generate(SimConfig::tiny(77))
+    }
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[5]), 0.0);
+        assert_eq!(entropy(&[0, 0, 3]), 0.0);
+        let uniform = entropy(&[2, 2, 2, 2]);
+        assert!((uniform - (4.0f64).ln()).abs() < 1e-9);
+        assert!(entropy(&[10, 1]) < uniform);
+    }
+
+    #[test]
+    fn region_features_normalized_and_shaped() {
+        let d = data();
+        let f = region_features(&d);
+        assert_eq!(f.len(), d.num_regions());
+        assert_eq!(f[0].len(), region_feature_dim());
+        for row in &f {
+            for &x in row {
+                assert!((0.0..=1.0).contains(&x), "feature {x} out of range");
+            }
+        }
+        // Some column must reach 1 exactly (the max element).
+        assert!(f.iter().any(|row| row.iter().any(|&x| (x - 1.0).abs() < 1e-6)));
+    }
+
+    #[test]
+    fn competitiveness_in_unit_range_and_monotone() {
+        let d = data();
+        let stores_rt = d.stores_per_region_type();
+        for r in 0..d.num_regions() {
+            for a in 0..d.num_types() {
+                let c = competitiveness(&d, &stores_rt, RegionId(r), a);
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn complementarity_zero_for_average_region() {
+        // If a region holds exactly the mean count of every type, the score
+        // is 0 by construction.
+        let stores_rt = vec![vec![2u32, 4], vec![2, 4]];
+        let comp = Complementarity::new(&stores_rt, 2);
+        let s = comp.score(&[2, 4], 0);
+        assert!(s.abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn complementarity_rewards_coappearing_partners() {
+        // Types 0 and 1 always co-appear; type 2 never does. A region rich in
+        // type 1 (above average) should score higher for type 0 than a region
+        // poor in type 1. log(rho) < 0 so "rich" means less negative.
+        let stores_rt = vec![
+            vec![1u32, 3, 0],
+            vec![1, 0, 0],
+            vec![1, 2, 0],
+        ];
+        let comp = Complementarity::new(&stores_rt, 3);
+        let rich = comp.score(&[1, 3, 0], 0);
+        let poor = comp.score(&[1, 1, 0], 0);
+        assert!(rich < poor, "rich {rich} poor {poor}");
+    }
+
+    #[test]
+    fn adaption_features_shape_and_fill() {
+        let d = data();
+        let f = adaption_features(&d, 2_000.0, None);
+        assert_eq!(f.len(), d.num_regions());
+        assert_eq!(f[0].len(), 1 + d.num_types() + 1);
+        for row in &f {
+            for &x in row {
+                assert!(x.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn adaption_features_respect_mask() {
+        let d = data();
+        let all = adaption_features(&d, 2_000.0, None);
+        let none = adaption_features(&d, 2_000.0, Some(&vec![false; d.orders.len()]));
+        assert_ne!(all, none);
+        // With every order masked out, preference columns are all zero.
+        for row in &none {
+            for &x in &row[1..1 + d.num_types()] {
+                assert_eq!(x, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_delivery_times_aggregates() {
+        let d = data();
+        let pairs = pairwise_delivery_times(&d, 1);
+        assert!(!pairs.is_empty());
+        let total: usize = pairs.iter().map(|&(_, _, _, _, c)| c).sum();
+        assert_eq!(total, d.orders.len());
+        for &(f, t, _, mins, _) in &pairs {
+            assert!(f < d.num_regions() && t < d.num_regions());
+            assert!(mins > 0.0 && mins < 200.0);
+        }
+        // min_orders filter reduces the list.
+        let filtered = pairwise_delivery_times(&d, 3);
+        assert!(filtered.len() < pairs.len());
+    }
+}

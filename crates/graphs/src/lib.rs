@@ -1,0 +1,31 @@
+//! # siterec-graphs
+//!
+//! Module 1 of O²-SiteRec: feature extraction (§III-C) and construction of
+//! the three input graphs of Eq. 1 —
+//!
+//! * [`GeoGraph`]: region geographical graph (Definition 2, 800 m threshold);
+//! * [`MobilityGraph`]: courier mobility multi-graph (Definition 3, one edge
+//!   set per period, mean delivery time attributes);
+//! * [`HeteroGraph`]: region-type heterogeneous multi-graph (Definition 4,
+//!   S/U/A nodes with geographic node attributes, S-U scope edges, S-A
+//!   commercial edges, U-A preference edges).
+//!
+//! Plus the 80/20 interaction [`Split`] and the assembled [`SiteRecTask`]
+//! consumed by both the O²-SiteRec model and every baseline. All
+//! transaction-derived attributes are computed under the training-order mask
+//! so held-out labels never leak into inputs.
+
+#![warn(missing_docs)]
+
+pub mod features;
+mod geo_graph;
+mod hetero;
+mod mobility;
+mod split;
+mod task;
+
+pub use geo_graph::GeoGraph;
+pub use hetero::{HeteroGraph, HeteroParams, SaEdge, SuEdge, UaEdge};
+pub use mobility::{MobilityEdge, MobilityGraph};
+pub use split::{Interaction, Split};
+pub use task::{SiteRecTask, ADAPTION_PREF_RADIUS_M, GEO_THRESHOLD_M, MOBILITY_MIN_ORDERS};

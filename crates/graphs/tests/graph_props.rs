@@ -1,0 +1,99 @@
+//! Property-based invariants of feature extraction and graph construction.
+
+use proptest::prelude::*;
+use siterec_geo::Period;
+use siterec_graphs::{HeteroGraph, HeteroParams, MobilityGraph, SiteRecTask, Split};
+use siterec_sim::{O2oDataset, SimConfig};
+
+fn dataset(seed: u64) -> O2oDataset {
+    O2oDataset::generate(SimConfig {
+        nx: 7,
+        ny: 7,
+        n_stores: 60,
+        days: 6,
+        ..SimConfig::tiny(seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Splits partition the non-zero interactions for any fraction.
+    #[test]
+    fn split_partitions(seed in 0u64..300, frac in 0.5f64..0.95) {
+        let d = dataset(seed);
+        let s = Split::new(&d, frac, seed ^ 7);
+        let total = s.train.len() + s.test.len();
+        let gt = d.orders_per_region_type();
+        let nonzero = gt.iter().flatten().filter(|&&c| c > 0).count();
+        prop_assert_eq!(total, nonzero);
+        let got = s.train.len() as f64 / total.max(1) as f64;
+        prop_assert!((got - frac).abs() < 0.05);
+        // norm is exact
+        for i in s.train.iter().chain(&s.test) {
+            prop_assert_eq!(gt[i.region][i.ty], i.count);
+            prop_assert!((i.norm - i.count as f32 / s.max_count as f32).abs() < 1e-6);
+        }
+    }
+
+    /// Hetero-graph edges always reference valid nodes and attributes stay
+    /// in their documented ranges.
+    #[test]
+    fn hetero_edge_invariants(seed in 0u64..300) {
+        let d = dataset(seed);
+        let s = Split::new(&d, 0.8, 3);
+        let g = HeteroGraph::build(&d, &s, &HeteroParams::default());
+        for e in &g.sa_edges {
+            prop_assert!(e.s < g.num_s() && e.a < g.n_types);
+            prop_assert!((0.0..=1.0).contains(&e.competitiveness));
+            prop_assert!(e.complementarity.abs() <= 1.0 + 1e-5);
+            prop_assert!((0.0..=1.0).contains(&e.history));
+        }
+        for pi in 0..Period::COUNT {
+            for e in &g.su_edges[pi] {
+                prop_assert!(e.s < g.num_s() && e.u < g.num_u());
+                prop_assert!(e.distance >= 0.0 && e.distance.is_finite());
+                prop_assert!((0.0..=1.0).contains(&e.transactions));
+            }
+            for e in &g.ua_edges[pi] {
+                prop_assert!(e.u < g.num_u() && e.a < g.n_types);
+                prop_assert!(e.transactions > 0.0 && e.transactions <= 1.0);
+            }
+        }
+    }
+
+    /// Mobility edges aggregate only observed region pairs, and normalized
+    /// attributes stay in [0, 1].
+    #[test]
+    fn mobility_invariants(seed in 0u64..300, min_orders in 1usize..4) {
+        let d = dataset(seed);
+        let g = MobilityGraph::build(&d, min_orders);
+        use std::collections::HashSet;
+        let observed: HashSet<(usize, usize, usize)> = d
+            .orders
+            .iter()
+            .map(|o| (o.store_region.0, o.customer_region.0, o.period().index()))
+            .collect();
+        for pi in 0..Period::COUNT {
+            for e in &g.edges[pi] {
+                prop_assert!(observed.contains(&(e.from, e.to, pi)));
+                prop_assert!(e.support as usize >= min_orders);
+                let n = g.normalized_minutes(e);
+                prop_assert!((0.0..=1.0).contains(&n));
+            }
+        }
+    }
+
+    /// The full task builder is internally consistent for any split seed.
+    #[test]
+    fn task_consistency(split_seed in 0u64..500) {
+        let d = dataset(11);
+        let t = SiteRecTask::build(&d, 0.8, split_seed);
+        // every train/test region resolves to a store-region node
+        for i in t.split.train.iter().chain(&t.split.test) {
+            prop_assert!(t.hetero.s_of_region[i.region].is_some());
+        }
+        prop_assert_eq!(t.region_feats.len(), t.n_regions);
+        prop_assert_eq!(t.adaption_feats.len(), t.n_regions);
+    }
+}

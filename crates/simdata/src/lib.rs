@@ -1,0 +1,44 @@
+//! # siterec-sim
+//!
+//! A generative simulator of an O2O (online-to-offline) delivery platform —
+//! the stand-in for the proprietary Eleme dataset (23.6M orders, 39,465
+//! stores, couriers' trajectories) the paper evaluates on.
+//!
+//! The simulator is engineered so that the paper's *motivating observations*
+//! hold in the generated data, which is what makes the downstream model
+//! comparison meaningful:
+//!
+//! * couriers and orders both peak at meal rushes, but the supply-demand
+//!   ratio dips there (Fig. 1) — see [`couriers`];
+//! * delivery time tracks the supply-demand ratio (Fig. 2) and the platform's
+//!   pressure control shrinks delivery scopes at rush hours (Fig. 3) — see
+//!   [`delivery`];
+//! * demand decays with expected delivery time at fixed distance (Fig. 4) and
+//!   customer type preferences vary by period (Fig. 5) — see [`demand`] and
+//!   [`stores`];
+//! * order volume correlates with nearby customers' preferences (Table II).
+//!
+//! Everything is a deterministic function of a [`SimConfig`]; two presets
+//! mirror the paper's two datasets ([`SimConfig::real_world_like`] and
+//! [`SimConfig::open_sim_like`]).
+
+#![warn(missing_docs)]
+
+mod city;
+mod config;
+pub mod couriers;
+mod dataset;
+pub mod delivery;
+pub mod demand;
+mod orders;
+mod stores;
+
+pub use city::{City, RegionClass, RegionProfile, NUM_POI_TYPES, POI_TYPE_NAMES};
+pub use config::SimConfig;
+pub use couriers::CourierSupply;
+pub use dataset::O2oDataset;
+pub use delivery::DeliveryModel;
+pub use orders::{CourierId, Order, OrderId};
+pub use stores::{
+    build_store_types, place_stores, type_period_weight, Store, StoreId, StoreType, StoreTypeId,
+};

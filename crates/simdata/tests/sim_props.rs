@@ -1,0 +1,108 @@
+//! Property-based invariants of the O2O platform simulator.
+
+use proptest::prelude::*;
+use siterec_geo::Period;
+use siterec_sim::{O2oDataset, SimConfig};
+
+fn small_config(seed: u64, nx: usize, stores: usize, days: u32) -> SimConfig {
+    SimConfig {
+        nx,
+        ny: nx,
+        n_stores: stores,
+        days,
+        ..SimConfig::tiny(seed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The dataset is a pure function of the config.
+    #[test]
+    fn determinism(seed in 0u64..1000) {
+        let a = O2oDataset::generate(small_config(seed, 6, 40, 4));
+        let b = O2oDataset::generate(small_config(seed, 6, 40, 4));
+        prop_assert_eq!(a.orders.len(), b.orders.len());
+        for (x, y) in a.orders.iter().zip(&b.orders).take(50) {
+            prop_assert_eq!(x.store, y.store);
+            prop_assert_eq!(x.created, y.created);
+            prop_assert_eq!(x.delivered, y.delivered);
+        }
+    }
+
+    /// Every order references valid entities and has a consistent timeline.
+    #[test]
+    fn order_wellformedness(seed in 0u64..500, nx in 5usize..9) {
+        let d = O2oDataset::generate(small_config(seed, nx, 60, 5));
+        for o in &d.orders {
+            prop_assert!(o.store.0 < d.stores.len());
+            prop_assert!(o.store_region.0 < d.num_regions());
+            prop_assert!(o.customer_region.0 < d.num_regions());
+            prop_assert!(o.ty.0 < d.num_types());
+            prop_assert_eq!(d.stores[o.store.0].region, o.store_region);
+            prop_assert_eq!(d.stores[o.store.0].ty, o.ty);
+            prop_assert!(o.created.0 <= o.accepted.0);
+            prop_assert!(o.created.0 < o.delivered.0);
+            prop_assert!(o.pickup.0 <= o.delivered.0);
+            prop_assert!(o.distance_m >= 0.0);
+            prop_assert!(o.distance_m <= d.config.max_order_distance_m + 1.0);
+            prop_assert!((o.created.day()) < d.config.days);
+        }
+    }
+
+    /// Aggregate identities: slot/period/ground-truth counts all total the
+    /// order count.
+    #[test]
+    fn aggregation_conservation(seed in 0u64..500) {
+        let d = O2oDataset::generate(small_config(seed, 7, 50, 5));
+        let total = d.orders.len() as u64;
+        prop_assert_eq!(d.orders_by_slot().iter().sum::<u64>(), total);
+        let per_type: u64 = d
+            .type_counts_by_period()
+            .iter()
+            .flat_map(|row| row.iter())
+            .sum();
+        prop_assert_eq!(per_type, total);
+        let gt: u64 = d
+            .orders_per_region_type()
+            .iter()
+            .flatten()
+            .map(|&x| x as u64)
+            .sum();
+        prop_assert_eq!(gt, total);
+        let prefs: u64 = d
+            .preferences_per_customer_region()
+            .iter()
+            .flatten()
+            .map(|&x| x as u64)
+            .sum();
+        prop_assert_eq!(prefs, total);
+    }
+
+    /// The supply allocation never creates couriers from nothing.
+    #[test]
+    fn supply_is_bounded_by_fleet(seed in 0u64..500) {
+        let d = O2oDataset::generate(small_config(seed, 6, 40, 3));
+        for p in Period::ALL {
+            let total: f64 = (0..d.num_regions())
+                .map(|r| d.supply.couriers_at(siterec_geo::RegionId(r), p))
+                .sum();
+            prop_assert!(total <= d.config.fleet_size as f64 + 1e-6);
+            prop_assert!(total > 0.0);
+        }
+    }
+
+    /// More demand pressure (scale) produces more orders, all else equal.
+    #[test]
+    fn demand_scale_is_monotone(seed in 0u64..200) {
+        let lo = O2oDataset::generate(SimConfig {
+            demand_scale: 0.8,
+            ..small_config(seed, 6, 40, 4)
+        });
+        let hi = O2oDataset::generate(SimConfig {
+            demand_scale: 2.4,
+            ..small_config(seed, 6, 40, 4)
+        });
+        prop_assert!(hi.orders.len() > lo.orders.len());
+    }
+}

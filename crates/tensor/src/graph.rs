@@ -1,0 +1,974 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a dynamic tape: every operation appends a node holding the
+//! forward value and enough information to propagate gradients. Calling
+//! [`Graph::backward`] on a scalar loss walks the tape in reverse and fills in
+//! gradients for every node that (transitively) depends on a differentiable
+//! leaf.
+//!
+//! The op set is exactly what graph-attention models over edge lists need:
+//! dense linear algebra, elementwise nonlinearities, gather/scatter over rows,
+//! and *segment* operations (per-neighbourhood softmax / sums) that implement
+//! message passing without materializing adjacency matrices.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// The recorded operation that produced a node.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Input with no parents. `bool` = participates in differentiation.
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    /// Elementwise product.
+    Mul(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var, f32),
+    MatMul(Var, Var),
+    Transpose(Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    /// Horizontal concatenation; stores column offsets of each part.
+    ConcatCols(Vec<Var>),
+    /// `out[i, :] = input[idx[i], :]`.
+    GatherRows(Var, Vec<usize>),
+    /// `out[s, :] = Σ_{i : seg[i]==s} input[i, :]`, `out` has `n_seg` rows.
+    SegmentSum(Var, Vec<usize>, usize),
+    /// Per-segment softmax over an `E x 1` score column.
+    SegmentSoftmax(Var, Vec<usize>),
+    /// `out[i, :] = a[i, :] * w[i, 0]` for `a: E x d`, `w: E x 1`.
+    MulColBroadcast(Var, Var),
+    /// `out[i, :] = a[i, :] + b[0, :]` for `a: n x d`, `b: 1 x d` (bias).
+    AddRowBroadcast(Var, Var),
+    /// Row `i` scaled by the constant `c[i]` (no gradient flows to `c`).
+    ScaleRowsConst(Var, Vec<f32>),
+    /// `out[i, 0] = a[i, :] . b[i, :]`.
+    RowDot(Var, Var),
+    /// Per-row softmax on an `n x m` matrix.
+    SoftmaxRows(Var),
+    /// Column slice `[start, start+len)`.
+    SliceCols(Var, usize, usize),
+    /// `[n, d] -> [1, d]` column sums.
+    SumRows(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    /// Inverted-dropout; the stored mask already includes the `1/(1-p)` scale.
+    Dropout(Var, Tensor),
+    /// Mean squared error against a constant target.
+    MseLoss(Var, Tensor),
+    /// Mean absolute error against a constant target.
+    L1Loss(Var, Tensor),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    needs_grad: bool,
+}
+
+/// A dynamic autodiff tape.
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+    rng: StdRng,
+    /// When false, [`Graph::dropout`] is the identity (evaluation mode).
+    pub training: bool,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// New tape in training mode with a fixed RNG seed (dropout masks are
+    /// deterministic given the seed and call order).
+    pub fn new() -> Self {
+        Self::with_seed(0x5173_7265)
+    }
+
+    /// New tape with an explicit dropout RNG seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Graph {
+            nodes: Vec::new(),
+            grads: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            training: true,
+        }
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> Var {
+        debug_assert!(
+            !value.has_non_finite(),
+            "non-finite value produced by {op:?}"
+        );
+        self.nodes.push(Node {
+            value,
+            op,
+            needs_grad,
+        });
+        self.grads.push(None);
+        Var(self.nodes.len() - 1)
+    }
+
+    fn needs(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
+    /// Insert a differentiable leaf (parameter value).
+    pub fn param(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Insert a non-differentiable constant.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of the last `backward` loss w.r.t. node `v`, if any flowed.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.grads[v.0].as_ref()
+    }
+
+    // ---- arithmetic -----------------------------------------------------
+
+    /// Elementwise sum (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Add(a, b), ng)
+    }
+
+    /// Sum a non-empty list of same-shape vars.
+    pub fn add_n(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "add_n of nothing");
+        let mut acc = vars[0];
+        for &v in &vars[1..] {
+            acc = self.add(acc, v);
+        }
+        acc
+    }
+
+    /// Elementwise difference (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Sub(a, b), ng)
+    }
+
+    /// Elementwise product (same shape).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Mul(a, b), ng)
+    }
+
+    /// Multiply by a constant scalar.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| x * c);
+        let ng = self.needs(a);
+        self.push(v, Op::Scale(a, c), ng)
+    }
+
+    /// Add a constant scalar to every element.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| x + c);
+        let ng = self.needs(a);
+        self.push(v, Op::AddScalar(a, c), ng)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::MatMul(a, b), ng)
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        let ng = self.needs(a);
+        self.push(v, Op::Transpose(a), ng)
+    }
+
+    // ---- nonlinearities -------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        let ng = self.needs(a);
+        self.push(v, Op::Relu(a), ng)
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).map(|x| if x >= 0.0 { x } else { alpha * x });
+        let ng = self.needs(a);
+        self.push(v, Op::LeakyRelu(a, alpha), ng)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let ng = self.needs(a);
+        self.push(v, Op::Sigmoid(a), ng)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        let ng = self.needs(a);
+        self.push(v, Op::Tanh(a), ng)
+    }
+
+    // ---- structure ------------------------------------------------------
+
+    /// Horizontal concatenation of same-row-count vars.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_cols(&tensors);
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(v, Op::ConcatCols(parts.to_vec()), ng)
+    }
+
+    /// Row selection: `out[i, :] = a[idx[i], :]`.
+    pub fn gather_rows(&mut self, a: Var, idx: &[usize]) -> Var {
+        let v = self.value(a).gather_rows(idx);
+        let ng = self.needs(a);
+        self.push(v, Op::GatherRows(a, idx.to_vec()), ng)
+    }
+
+    /// Segment sum: rows of `a` grouped by `segments` (values `< n_segments`)
+    /// are summed; the result has `n_segments` rows. Empty segments are zero.
+    pub fn segment_sum(&mut self, a: Var, segments: &[usize], n_segments: usize) -> Var {
+        let av = self.value(a);
+        assert_eq!(av.rows(), segments.len(), "segment_sum length mismatch");
+        let mut out = Tensor::zeros(n_segments, av.cols());
+        for (i, &s) in segments.iter().enumerate() {
+            assert!(s < n_segments, "segment id {s} >= {n_segments}");
+            let src = av.row_slice(i);
+            let dst = out.row_slice_mut(s);
+            for (d, &x) in dst.iter_mut().zip(src) {
+                *d += x;
+            }
+        }
+        let ng = self.needs(a);
+        self.push(out, Op::SegmentSum(a, segments.to_vec(), n_segments), ng)
+    }
+
+    /// Per-segment mean (segment sum scaled by 1/|segment|; empty segments 0).
+    pub fn segment_mean(&mut self, a: Var, segments: &[usize], n_segments: usize) -> Var {
+        let mut counts = vec![0usize; n_segments];
+        for &s in segments {
+            counts[s] += 1;
+        }
+        let inv: Vec<f32> = counts
+            .iter()
+            .map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f32 })
+            .collect();
+        let summed = self.segment_sum(a, segments, n_segments);
+        self.scale_rows_const(summed, &inv)
+    }
+
+    /// Numerically-stable softmax within each segment of an `E x 1` column.
+    pub fn segment_softmax(&mut self, scores: &[usize], a: Var) -> Var {
+        let av = self.value(a);
+        assert_eq!(av.cols(), 1, "segment_softmax expects an E x 1 column");
+        assert_eq!(av.rows(), scores.len(), "segment_softmax length mismatch");
+        let n_seg = scores.iter().copied().max().map_or(0, |m| m + 1);
+        let mut seg_max = vec![f32::NEG_INFINITY; n_seg];
+        for (i, &s) in scores.iter().enumerate() {
+            seg_max[s] = seg_max[s].max(av.get(i, 0));
+        }
+        let mut seg_sum = vec![0.0f32; n_seg];
+        let mut out = Tensor::zeros(av.rows(), 1);
+        for (i, &s) in scores.iter().enumerate() {
+            let e = (av.get(i, 0) - seg_max[s]).exp();
+            out.set(i, 0, e);
+            seg_sum[s] += e;
+        }
+        for (i, &s) in scores.iter().enumerate() {
+            out.set(i, 0, out.get(i, 0) / seg_sum[s]);
+        }
+        let ng = self.needs(a);
+        self.push(out, Op::SegmentSoftmax(a, scores.to_vec()), ng)
+    }
+
+    /// Broadcast a column of weights over the columns of `a`:
+    /// `out[i, :] = a[i, :] * w[i, 0]`.
+    pub fn mul_col_broadcast(&mut self, a: Var, w: Var) -> Var {
+        let (av, wv) = (self.value(a), self.value(w));
+        assert_eq!(wv.cols(), 1, "mul_col_broadcast weight must be E x 1");
+        assert_eq!(av.rows(), wv.rows(), "mul_col_broadcast row mismatch");
+        let mut out = av.clone();
+        for i in 0..out.rows() {
+            let wi = wv.get(i, 0);
+            for x in out.row_slice_mut(i) {
+                *x *= wi;
+            }
+        }
+        let ng = self.needs(a) || self.needs(w);
+        self.push(out, Op::MulColBroadcast(a, w), ng)
+    }
+
+    /// Broadcast-add a `1 x d` row (bias) to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(bv.rows(), 1, "add_row_broadcast bias must be 1 x d");
+        assert_eq!(av.cols(), bv.cols(), "add_row_broadcast col mismatch");
+        let mut out = av.clone();
+        for i in 0..out.rows() {
+            let dst = out.row_slice_mut(i);
+            for (d, &x) in dst.iter_mut().zip(bv.row_slice(0)) {
+                *d += x;
+            }
+        }
+        let ng = self.needs(a) || self.needs(b);
+        self.push(out, Op::AddRowBroadcast(a, b), ng)
+    }
+
+    /// Scale row `i` of `a` by the constant `c[i]` (no gradient flows to `c`).
+    pub fn scale_rows_const(&mut self, a: Var, c: &[f32]) -> Var {
+        let av = self.value(a);
+        assert_eq!(av.rows(), c.len(), "scale_rows_const length mismatch");
+        let mut out = av.clone();
+        for (i, &ci) in c.iter().enumerate() {
+            for x in out.row_slice_mut(i) {
+                *x *= ci;
+            }
+        }
+        let ng = self.needs(a);
+        self.push(out, Op::ScaleRowsConst(a, c.to_vec()), ng)
+    }
+
+    /// Row-wise dot product: `out[i, 0] = a[i, :] . b[i, :]`.
+    pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape(), bv.shape(), "row_dot shape mismatch");
+        let mut out = Tensor::zeros(av.rows(), 1);
+        for i in 0..av.rows() {
+            let s: f32 = av
+                .row_slice(i)
+                .iter()
+                .zip(bv.row_slice(i))
+                .map(|(&x, &y)| x * y)
+                .sum();
+            out.set(i, 0, s);
+        }
+        let ng = self.needs(a) || self.needs(b);
+        self.push(out, Op::RowDot(a, b), ng)
+    }
+
+    /// Numerically-stable per-row softmax of an `n x m` matrix.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let mut out = av.clone();
+        for i in 0..out.rows() {
+            let row = out.row_slice_mut(i);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        let ng = self.needs(a);
+        self.push(out, Op::SoftmaxRows(a), ng)
+    }
+
+    /// Column slice `[start, start + len)`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let av = self.value(a);
+        assert!(start + len <= av.cols(), "slice_cols out of range");
+        let mut out = Tensor::zeros(av.rows(), len);
+        for i in 0..av.rows() {
+            out.row_slice_mut(i)
+                .copy_from_slice(&av.row_slice(i)[start..start + len]);
+        }
+        let ng = self.needs(a);
+        self.push(out, Op::SliceCols(a, start, len), ng)
+    }
+
+    // ---- reductions & losses -------------------------------------------
+
+    /// Column sums: `[n, d] -> [1, d]`.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let mut out = Tensor::zeros(1, av.cols());
+        for i in 0..av.rows() {
+            let dst = out.row_slice_mut(0);
+            for (d, &x) in dst.iter_mut().zip(av.row_slice(i)) {
+                *d += x;
+            }
+        }
+        let ng = self.needs(a);
+        self.push(out, Op::SumRows(a), ng)
+    }
+
+    /// Sum of all elements, as a `1x1` tensor.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        let ng = self.needs(a);
+        self.push(v, Op::SumAll(a), ng)
+    }
+
+    /// Mean of all elements, as a `1x1` tensor.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean());
+        let ng = self.needs(a);
+        self.push(v, Op::MeanAll(a), ng)
+    }
+
+    /// Inverted dropout with keep-probability `1 - p`. Identity when
+    /// `training == false` or `p == 0`.
+    pub fn dropout(&mut self, a: Var, p: f32) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+        if !self.training || p == 0.0 {
+            return a;
+        }
+        let (rows, cols) = self.value(a).shape();
+        let keep = 1.0 - p;
+        let mut mask = Tensor::zeros(rows, cols);
+        for x in mask.data_mut() {
+            if self.rng.gen::<f32>() < keep {
+                *x = 1.0 / keep;
+            }
+        }
+        let v = self.value(a).zip(&mask, |x, m| x * m);
+        let ng = self.needs(a);
+        self.push(v, Op::Dropout(a, mask), ng)
+    }
+
+    /// Mean squared error against a constant target, as a `1x1` scalar.
+    pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Var {
+        let pv = self.value(pred);
+        assert_eq!(pv.shape(), target.shape(), "mse_loss shape mismatch");
+        let n = pv.len() as f32;
+        let loss = pv
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&p, &t)| (p - t) * (p - t))
+            .sum::<f32>()
+            / n;
+        let ng = self.needs(pred);
+        self.push(Tensor::scalar(loss), Op::MseLoss(pred, target.clone()), ng)
+    }
+
+    /// Mean absolute error against a constant target, as a `1x1` scalar.
+    pub fn l1_loss(&mut self, pred: Var, target: &Tensor) -> Var {
+        let pv = self.value(pred);
+        assert_eq!(pv.shape(), target.shape(), "l1_loss shape mismatch");
+        let n = pv.len() as f32;
+        let loss = pv
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&p, &t)| (p - t).abs())
+            .sum::<f32>()
+            / n;
+        let ng = self.needs(pred);
+        self.push(Tensor::scalar(loss), Op::L1Loss(pred, target.clone()), ng)
+    }
+
+    // ---- backward -------------------------------------------------------
+
+    fn accumulate(&mut self, v: Var, g: Tensor) {
+        if !self.nodes[v.0].needs_grad {
+            return;
+        }
+        match &mut self.grads[v.0] {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Reverse-mode sweep from a scalar `loss` node. Gradients accumulate into
+    /// [`Graph::grad`]; a second call adds on top (zero the tape by rebuilding
+    /// it, which is the intended per-step usage).
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1x1`.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward requires a scalar loss"
+        );
+        self.accumulate(loss, Tensor::scalar(1.0));
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].needs_grad {
+                continue;
+            }
+            let Some(g) = self.grads[i].clone() else {
+                continue;
+            };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    self.accumulate(a, g.clone());
+                    self.accumulate(b, g);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, g.clone());
+                    self.accumulate(b, g.map(|x| -x));
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.zip(self.value(b), |gi, bi| gi * bi);
+                    let gb = g.zip(self.value(a), |gi, ai| gi * ai);
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::Scale(a, c) => self.accumulate(a, g.map(|x| x * c)),
+                Op::AddScalar(a, c) => {
+                    debug_assert!(c.is_finite());
+                    self.accumulate(a, g);
+                }
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul(&self.value(b).transpose());
+                    let gb = self.value(a).transpose().matmul(&g);
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::Transpose(a) => self.accumulate(a, g.transpose()),
+                Op::Relu(a) => {
+                    let ga = g.zip(self.value(a), |gi, x| if x > 0.0 { gi } else { 0.0 });
+                    self.accumulate(a, ga);
+                }
+                Op::LeakyRelu(a, alpha) => {
+                    let ga = g.zip(self.value(a), |gi, x| if x >= 0.0 { gi } else { alpha * gi });
+                    self.accumulate(a, ga);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga = g.zip(y, |gi, yi| gi * yi * (1.0 - yi));
+                    self.accumulate(a, ga);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga = g.zip(y, |gi, yi| gi * (1.0 - yi * yi));
+                    self.accumulate(a, ga);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for p in parts {
+                        let w = self.value(p).cols();
+                        let rows = g.rows();
+                        let mut gp = Tensor::zeros(rows, w);
+                        for r in 0..rows {
+                            gp.row_slice_mut(r)
+                                .copy_from_slice(&g.row_slice(r)[off..off + w]);
+                        }
+                        off += w;
+                        self.accumulate(p, gp);
+                    }
+                }
+                Op::GatherRows(a, idx) => {
+                    let (rows, cols) = self.value(a).shape();
+                    let mut ga = Tensor::zeros(rows, cols);
+                    for (o, &src) in idx.iter().enumerate() {
+                        let dst = ga.row_slice_mut(src);
+                        for (d, &x) in dst.iter_mut().zip(g.row_slice(o)) {
+                            *d += x;
+                        }
+                    }
+                    self.accumulate(a, ga);
+                }
+                Op::SegmentSum(a, segs, n_seg) => {
+                    debug_assert_eq!(g.rows(), n_seg);
+                    let cols = g.cols();
+                    let mut ga = Tensor::zeros(segs.len(), cols);
+                    for (r, &s) in segs.iter().enumerate() {
+                        ga.row_slice_mut(r).copy_from_slice(g.row_slice(s));
+                    }
+                    self.accumulate(a, ga);
+                }
+                Op::SegmentSoftmax(a, segs) => {
+                    // dL/ds_i = y_i * (g_i - Σ_{j in seg(i)} y_j g_j)
+                    let y = self.nodes[i].value.clone();
+                    let n_seg = segs.iter().copied().max().map_or(0, |m| m + 1);
+                    let mut seg_dot = vec![0.0f32; n_seg];
+                    for (r, &s) in segs.iter().enumerate() {
+                        seg_dot[s] += y.get(r, 0) * g.get(r, 0);
+                    }
+                    let mut ga = Tensor::zeros(y.rows(), 1);
+                    for (r, &s) in segs.iter().enumerate() {
+                        ga.set(r, 0, y.get(r, 0) * (g.get(r, 0) - seg_dot[s]));
+                    }
+                    self.accumulate(a, ga);
+                }
+                Op::MulColBroadcast(a, w) => {
+                    let wv = self.value(w).clone();
+                    let av = self.value(a).clone();
+                    let mut ga = g.clone();
+                    for r in 0..ga.rows() {
+                        let wi = wv.get(r, 0);
+                        for x in ga.row_slice_mut(r) {
+                            *x *= wi;
+                        }
+                    }
+                    let mut gw = Tensor::zeros(wv.rows(), 1);
+                    for r in 0..av.rows() {
+                        let s: f32 = g
+                            .row_slice(r)
+                            .iter()
+                            .zip(av.row_slice(r))
+                            .map(|(&gi, &ai)| gi * ai)
+                            .sum();
+                        gw.set(r, 0, s);
+                    }
+                    self.accumulate(a, ga);
+                    self.accumulate(w, gw);
+                }
+                Op::AddRowBroadcast(a, b) => {
+                    let mut gb = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        let dst = gb.row_slice_mut(0);
+                        for (d, &x) in dst.iter_mut().zip(g.row_slice(r)) {
+                            *d += x;
+                        }
+                    }
+                    self.accumulate(a, g);
+                    self.accumulate(b, gb);
+                }
+                Op::ScaleRowsConst(a, c) => {
+                    let mut ga = g.clone();
+                    for (r, &ci) in c.iter().enumerate() {
+                        for x in ga.row_slice_mut(r) {
+                            *x *= ci;
+                        }
+                    }
+                    self.accumulate(a, ga);
+                }
+                Op::RowDot(a, b) => {
+                    let av = self.value(a).clone();
+                    let bv = self.value(b).clone();
+                    let mut ga = bv.clone();
+                    let mut gb = av.clone();
+                    for r in 0..av.rows() {
+                        let gi = g.get(r, 0);
+                        for x in ga.row_slice_mut(r) {
+                            *x *= gi;
+                        }
+                        for x in gb.row_slice_mut(r) {
+                            *x *= gi;
+                        }
+                    }
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = self.nodes[i].value.clone();
+                    let mut ga = Tensor::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let dot: f32 = y
+                            .row_slice(r)
+                            .iter()
+                            .zip(g.row_slice(r))
+                            .map(|(&yi, &gi)| yi * gi)
+                            .sum();
+                        for c in 0..y.cols() {
+                            ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                        }
+                    }
+                    self.accumulate(a, ga);
+                }
+                Op::SliceCols(a, start, len) => {
+                    let (rows, cols) = self.value(a).shape();
+                    let mut ga = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        ga.row_slice_mut(r)[start..start + len].copy_from_slice(g.row_slice(r));
+                    }
+                    self.accumulate(a, ga);
+                }
+                Op::SumRows(a) => {
+                    let (rows, cols) = self.value(a).shape();
+                    let mut ga = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        ga.row_slice_mut(r).copy_from_slice(g.row_slice(0));
+                    }
+                    self.accumulate(a, ga);
+                }
+                Op::SumAll(a) => {
+                    let (rows, cols) = self.value(a).shape();
+                    let ga = Tensor::full(rows, cols, g.item());
+                    self.accumulate(a, ga);
+                }
+                Op::MeanAll(a) => {
+                    let (rows, cols) = self.value(a).shape();
+                    let n = (rows * cols) as f32;
+                    let ga = Tensor::full(rows, cols, g.item() / n);
+                    self.accumulate(a, ga);
+                }
+                Op::Dropout(a, mask) => {
+                    let ga = g.zip(&mask, |gi, m| gi * m);
+                    self.accumulate(a, ga);
+                }
+                Op::MseLoss(a, target) => {
+                    let n = target.len() as f32;
+                    let gi = g.item();
+                    let ga = self
+                        .value(a)
+                        .zip(&target, |p, t| 2.0 * (p - t) * gi / n);
+                    self.accumulate(a, ga);
+                }
+                Op::L1Loss(a, target) => {
+                    let n = target.len() as f32;
+                    let gi = g.item();
+                    let ga = self.value(a).zip(&target, |p, t| {
+                        let d = p - t;
+                        // Subgradient: 0 at the kink.
+                        if d > 0.0 {
+                            gi / n
+                        } else if d < 0.0 {
+                            -gi / n
+                        } else {
+                            0.0
+                        }
+                    });
+                    self.accumulate(a, ga);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(rows, cols, v)
+    }
+
+    #[test]
+    fn add_backward_is_identity() {
+        let mut g = Graph::new();
+        let a = g.param(t(1, 2, vec![1.0, 2.0]));
+        let b = g.param(t(1, 2, vec![3.0, 4.0]));
+        let s = g.add(a, b);
+        let l = g.sum_all(s);
+        g.backward(l);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_gets_no_grad() {
+        let mut g = Graph::new();
+        let a = g.param(t(1, 1, vec![2.0]));
+        let c = g.constant(t(1, 1, vec![5.0]));
+        let p = g.mul(a, c);
+        g.backward(p);
+        assert_eq!(g.grad(a).unwrap().item(), 5.0);
+        assert!(g.grad(c).is_none());
+    }
+
+    #[test]
+    fn matmul_backward_matches_manual() {
+        // f = sum(A B); dA = 1 * B^T, dB = A^T * 1
+        let mut g = Graph::new();
+        let a = g.param(t(2, 2, vec![1., 2., 3., 4.]));
+        let b = g.param(t(2, 2, vec![5., 6., 7., 8.]));
+        let c = g.matmul(a, b);
+        let l = g.sum_all(c);
+        g.backward(l);
+        assert_eq!(g.grad(a).unwrap().data(), &[11., 15., 11., 15.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[4., 4., 6., 6.]);
+    }
+
+    #[test]
+    fn relu_gates_gradient() {
+        let mut g = Graph::new();
+        let a = g.param(t(1, 3, vec![-1.0, 0.0, 2.0]));
+        let r = g.relu(a);
+        let l = g.sum_all(r);
+        g.backward(l);
+        assert_eq!(g.grad(a).unwrap().data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_value_and_grad() {
+        let mut g = Graph::new();
+        let a = g.param(t(1, 1, vec![0.0]));
+        let s = g.sigmoid(a);
+        assert!((g.value(s).item() - 0.5).abs() < 1e-6);
+        g.backward(s);
+        assert!((g.grad(a).unwrap().item() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_grad() {
+        let mut g = Graph::new();
+        let table = g.param(t(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+        let picked = g.gather_rows(table, &[0, 2, 0]);
+        let l = g.sum_all(picked);
+        g.backward(l);
+        // Row 0 picked twice, row 1 never, row 2 once.
+        assert_eq!(
+            g.grad(table).unwrap().data(),
+            &[2., 2., 0., 0., 1., 1.]
+        );
+    }
+
+    #[test]
+    fn segment_sum_values_and_grads() {
+        let mut g = Graph::new();
+        let a = g.param(t(4, 1, vec![1., 2., 3., 4.]));
+        let s = g.segment_sum(a, &[0, 1, 0, 1], 2);
+        assert_eq!(g.value(s).data(), &[4.0, 6.0]);
+        // weight segment 0 by 10, segment 1 by 1
+        let w = g.constant(t(2, 1, vec![10.0, 1.0]));
+        let weighted = g.mul(s, w);
+        let l = g.sum_all(weighted);
+        g.backward(l);
+        assert_eq!(g.grad(a).unwrap().data(), &[10., 1., 10., 1.]);
+    }
+
+    #[test]
+    fn segment_softmax_normalizes_per_segment() {
+        let mut g = Graph::new();
+        let a = g.param(t(5, 1, vec![1.0, 2.0, 3.0, -1.0, 100.0]));
+        let segs = vec![0usize, 0, 0, 1, 1];
+        let sm = g.segment_softmax(&segs, a);
+        let v = g.value(sm);
+        let s0: f32 = v.data()[..3].iter().sum();
+        let s1: f32 = v.data()[3..].iter().sum();
+        assert!((s0 - 1.0).abs() < 1e-5);
+        assert!((s1 - 1.0).abs() < 1e-5);
+        // extreme logit dominates its segment without overflow
+        assert!(v.get(4, 0) > 0.999);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let mut g = Graph::new();
+        let a = g.param(t(2, 3, vec![1., 2., 3., 0., 0., 0.]));
+        let s = g.softmax_rows(a);
+        let v = g.value(s);
+        for r in 0..2 {
+            let sum: f32 = v.row_slice(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert!((v.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mse_loss_value_and_grad() {
+        let mut g = Graph::new();
+        let p = g.param(t(1, 2, vec![1.0, 3.0]));
+        let target = t(1, 2, vec![0.0, 1.0]);
+        let l = g.mse_loss(p, &target);
+        // ((1)^2 + (2)^2) / 2 = 2.5
+        assert!((g.value(l).item() - 2.5).abs() < 1e-6);
+        g.backward(l);
+        assert_eq!(g.grad(p).unwrap().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn l1_loss_value_and_grad() {
+        let mut g = Graph::new();
+        let p = g.param(t(1, 2, vec![1.0, -3.0]));
+        let target = t(1, 2, vec![0.0, 1.0]);
+        let l = g.l1_loss(p, &target);
+        assert!((g.value(l).item() - 2.5).abs() < 1e-6);
+        g.backward(l);
+        assert_eq!(g.grad(p).unwrap().data(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn dropout_eval_mode_is_identity() {
+        let mut g = Graph::new();
+        g.training = false;
+        let a = g.param(t(1, 4, vec![1., 2., 3., 4.]));
+        let d = g.dropout(a, 0.5);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn dropout_training_scales_kept_units() {
+        let mut g = Graph::with_seed(7);
+        let a = g.param(Tensor::full(1, 1000, 1.0));
+        let d = g.dropout(a, 0.5);
+        let mean = g.value(d).mean();
+        // Inverted dropout keeps the expectation ≈ 1.
+        assert!((mean - 1.0).abs() < 0.1, "mean was {mean}");
+        for &x in g.value(d).data() {
+            assert!(x == 0.0 || (x - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn slice_cols_and_grad() {
+        let mut g = Graph::new();
+        let a = g.param(t(2, 3, vec![1., 2., 3., 4., 5., 6.]));
+        let s = g.slice_cols(a, 1, 2);
+        assert_eq!(g.value(s).data(), &[2., 3., 5., 6.]);
+        let l = g.sum_all(s);
+        g.backward(l);
+        assert_eq!(g.grad(a).unwrap().data(), &[0., 1., 1., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn row_dot_values() {
+        let mut g = Graph::new();
+        let a = g.param(t(2, 2, vec![1., 2., 3., 4.]));
+        let b = g.param(t(2, 2, vec![5., 6., 7., 8.]));
+        let d = g.row_dot(a, b);
+        assert_eq!(g.value(d).data(), &[17.0, 53.0]);
+        let l = g.sum_all(d);
+        g.backward(l);
+        assert_eq!(g.grad(a).unwrap().data(), &[5., 6., 7., 8.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn diamond_reuse_accumulates() {
+        // y = a + a -> dy/da = 2
+        let mut g = Graph::new();
+        let a = g.param(t(1, 1, vec![3.0]));
+        let y = g.add(a, a);
+        g.backward(y);
+        assert_eq!(g.grad(a).unwrap().item(), 2.0);
+    }
+
+    #[test]
+    fn mean_aggregation_via_segment_mean() {
+        let mut g = Graph::new();
+        let a = g.param(t(4, 2, vec![2., 0., 4., 0., 8., 8., 0., 0.]));
+        let m = g.segment_mean(a, &[0, 0, 1, 2], 4);
+        let v = g.value(m);
+        assert_eq!(v.row_slice(0), &[3.0, 0.0]);
+        assert_eq!(v.row_slice(1), &[8.0, 8.0]);
+        assert_eq!(v.row_slice(2), &[0.0, 0.0]);
+        assert_eq!(v.row_slice(3), &[0.0, 0.0]); // empty segment
+    }
+}

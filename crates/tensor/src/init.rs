@@ -1,0 +1,114 @@
+//! Weight initialization schemes.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Initialization scheme for a parameter tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// Every element the given constant.
+    Constant(f32),
+    /// Uniform in `[-a, a]`.
+    Uniform(f32),
+    /// Glorot/Xavier uniform: `U(-sqrt(6/(fan_in+fan_out)), +...)`.
+    XavierUniform,
+    /// Kaiming/He uniform for ReLU nets: `U(-sqrt(6/fan_in), +...)`.
+    KaimingUniform,
+    /// Standard normal scaled by the given factor.
+    Normal(f32),
+}
+
+impl Init {
+    /// Materialize a `rows x cols` tensor using `rng`.
+    ///
+    /// `rows` is treated as `fan_in` and `cols` as `fan_out`, matching the
+    /// `x @ W` convention used throughout this workspace.
+    pub fn build(self, rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+        let mut t = Tensor::zeros(rows, cols);
+        match self {
+            Init::Zeros => {}
+            Init::Constant(c) => {
+                for x in t.data_mut() {
+                    *x = c;
+                }
+            }
+            Init::Uniform(a) => {
+                for x in t.data_mut() {
+                    *x = rng.gen_range(-a..=a);
+                }
+            }
+            Init::XavierUniform => {
+                let a = (6.0 / (rows + cols) as f32).sqrt();
+                for x in t.data_mut() {
+                    *x = rng.gen_range(-a..=a);
+                }
+            }
+            Init::KaimingUniform => {
+                let a = (6.0 / rows as f32).sqrt();
+                for x in t.data_mut() {
+                    *x = rng.gen_range(-a..=a);
+                }
+            }
+            Init::Normal(std) => {
+                // Box-Muller; avoids a rand_distr dependency in this crate.
+                for x in t.data_mut() {
+                    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                    let u2: f32 = rng.gen();
+                    *x = std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(Init::Zeros.build(2, 3, &mut rng).data().iter().all(|&x| x == 0.0));
+        assert!(Init::Constant(0.5)
+            .build(2, 3, &mut rng)
+            .data()
+            .iter()
+            .all(|&x| x == 0.5));
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Init::XavierUniform.build(10, 10, &mut rng);
+        let bound = (6.0f32 / 20.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound + 1e-6));
+        // not degenerate
+        assert!(t.data().iter().any(|&x| x.abs() > 1e-4));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_std() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Init::Normal(2.0).build(100, 100, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / (t.len() as f32);
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(
+            Init::XavierUniform.build(4, 4, &mut a),
+            Init::XavierUniform.build(4, 4, &mut b)
+        );
+    }
+}

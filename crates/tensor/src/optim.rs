@@ -1,0 +1,207 @@
+//! First-order optimizers over a [`ParamStore`].
+
+use crate::param::ParamStore;
+use crate::tensor::Tensor;
+
+/// Optimizer interface: consume the gradients currently held by the store and
+/// update parameter values in place.
+pub trait Optimizer {
+    /// One update step from the store's current gradients.
+    fn step(&mut self, params: &mut ParamStore);
+}
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight-decay coefficient (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamStore) {
+        for p in params.iter_mut() {
+            if self.weight_decay > 0.0 {
+                let wd = self.weight_decay;
+                let v = p.value.clone();
+                p.grad.add_scaled(&v, wd);
+            }
+            let g = p.grad.clone();
+            p.value.add_scaled(&g, -self.lr);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) — the optimizer the paper trains with.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper: 1e-4).
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// L2 weight-decay coefficient (0 disables).
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999) and eps 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Builder-style weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    fn ensure_state(&mut self, params: &ParamStore) {
+        if self.m.len() != params.len() {
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+            self.v = self.m.clone();
+            self.t = 0;
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamStore) {
+        self.ensure_state(params);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            if self.weight_decay > 0.0 {
+                let wd = self.weight_decay;
+                let val = p.value.clone();
+                p.grad.add_scaled(&val, wd);
+            }
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mx, vx), (&gx, wx)) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut())
+                .zip(p.grad.data().iter().zip(p.value.data().to_vec().iter()))
+            {
+                let _ = wx;
+                *mx = self.beta1 * *mx + (1.0 - self.beta1) * gx;
+                *vx = self.beta2 * *vx + (1.0 - self.beta2) * gx * gx;
+            }
+            for ((wx, &mx), &vx) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(m.data())
+                .zip(v.data())
+            {
+                let m_hat = mx / bc1;
+                let v_hat = vx / bc2;
+                *wx -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::init::Init;
+
+    /// Minimize f(w) = (w - 3)^2 and check convergence.
+    fn converges_to_three(opt: &mut dyn Optimizer, lr_steps: usize) -> f32 {
+        let mut ps = ParamStore::new(1);
+        let w = ps.add("w", 1, 1, Init::Zeros);
+        for _ in 0..lr_steps {
+            let mut g = Graph::new();
+            let binds = ps.bind(&mut g);
+            let target = Tensor::scalar(3.0);
+            let loss = g.mse_loss(binds.var(w), &target);
+            g.backward(loss);
+            ps.zero_grads();
+            ps.harvest(&g, &binds);
+            opt.step(&mut ps);
+        }
+        ps.get(w).value.item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = converges_to_three(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let w = converges_to_three(&mut opt, 500);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_bias_correction_gives_big_first_step() {
+        // First Adam step should be ≈ lr in the gradient direction regardless
+        // of gradient magnitude.
+        let mut ps = ParamStore::new(1);
+        let w = ps.add("w", 1, 1, Init::Zeros);
+        ps.get_mut(w).grad = Tensor::scalar(1e-3);
+        let mut opt = Adam::new(0.5);
+        opt.step(&mut ps);
+        assert!((ps.get(w).value.item() + 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut ps = ParamStore::new(1);
+        let w = ps.add("w", 1, 1, Init::Constant(10.0));
+        // zero data gradient, only decay
+        let mut opt = Sgd::new(0.1);
+        opt.weight_decay = 0.5;
+        opt.step(&mut ps);
+        assert!(ps.get(w).value.item() < 10.0);
+    }
+
+    #[test]
+    fn adam_state_resets_when_params_change() {
+        let mut ps = ParamStore::new(1);
+        ps.add("a", 1, 1, Init::Zeros);
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut ps);
+        ps.add("b", 2, 2, Init::Zeros);
+        // Must not panic; state re-sized lazily.
+        opt.step(&mut ps);
+        assert_eq!(opt.m.len(), 2);
+    }
+}

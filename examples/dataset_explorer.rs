@@ -1,0 +1,80 @@
+//! Dataset explorer: generate the synthetic O2O month and print the
+//! motivation statistics of the paper's §II (supply-demand dynamics,
+//! delivery scopes, period-dependent preferences).
+//!
+//! Run with: `cargo run --release --example dataset_explorer`
+
+use siterec_geo::{Period, Slot2h};
+use siterec_sim::{O2oDataset, RegionClass, SimConfig};
+
+fn bar(x: f64, max: f64, width: usize) -> String {
+    let n = ((x / max.max(1e-9)) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+fn main() {
+    let data = O2oDataset::generate(SimConfig::tiny(42));
+    println!(
+        "dataset: {} orders | {} stores | {} types | {} regions | {} days\n",
+        data.orders.len(),
+        data.stores.len(),
+        data.num_types(),
+        data.num_regions(),
+        data.config.days
+    );
+
+    println!("-- orders per 2-hour slot (city level) --");
+    let orders = data.orders_by_slot();
+    let max = *orders.iter().max().unwrap() as f64;
+    for (i, &o) in orders.iter().enumerate() {
+        println!(
+            "  {} | {:<40} {}",
+            Slot2h(i as u32).label(),
+            bar(o as f64, max, 40),
+            o
+        );
+    }
+
+    println!("\n-- supply-demand ratio per slot (normalized; dips = restrained capacity) --");
+    let ratio = data.supply_demand_ratio_by_slot();
+    for (i, &r) in ratio.iter().enumerate() {
+        println!("  {} | {:<40} {:.2}", Slot2h(i as u32).label(), bar(r, 1.0, 40), r);
+    }
+
+    println!("\n-- mean delivery time per period --");
+    for p in Period::ALL {
+        let times: Vec<f64> = data
+            .orders
+            .iter()
+            .filter(|o| o.period() == p)
+            .map(|o| o.delivery_minutes())
+            .collect();
+        let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
+        println!("  {:>13}: {:.1} min over {} orders", p.label(), mean, times.len());
+    }
+
+    println!("\n-- top-3 store types per period (preferences shift along the day) --");
+    for p in Period::ALL {
+        let top = data.top_types_in_period(p, 3);
+        let names: Vec<String> = top
+            .iter()
+            .map(|(ty, c)| format!("{} ({c})", data.store_types[ty.0].name))
+            .collect();
+        println!("  {:>13}: {}", p.label(), names.join(", "));
+    }
+
+    println!("\n-- orders by region class --");
+    for class in [RegionClass::Downtown, RegionClass::Midtown, RegionClass::Suburb] {
+        let regions = data.city.regions_of_class(class);
+        let count: usize = data
+            .orders
+            .iter()
+            .filter(|o| regions.contains(&o.store_region))
+            .count();
+        println!(
+            "  {class:?}: {count} orders across {} regions ({:.1} per region)",
+            regions.len(),
+            count as f64 / regions.len().max(1) as f64
+        );
+    }
+}

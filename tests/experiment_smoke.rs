@@ -1,0 +1,72 @@
+//! Smoke tests for the experiment benches: every table/figure target runs at
+//! `SITEREC_SMOKE=1` scale so the regeneration code cannot rot.
+
+use std::process::Command;
+
+fn run_bench(name: &str) {
+    let out = Command::new(env!("CARGO"))
+        .args(["bench", "-p", "siterec-bench", "--bench", name])
+        .env("SITEREC_SMOKE", "1")
+        .env("SITEREC_ROUNDS", "1")
+        .output()
+        .expect("spawn cargo bench");
+    assert!(
+        out.status.success(),
+        "bench {name} failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+// Dataset-analysis targets are cheap: run them for real (smoke scale).
+#[test]
+fn table1_runs() {
+    run_bench("table1_order_schema");
+}
+
+#[test]
+fn table2_runs() {
+    run_bench("table2_pref_correlation");
+}
+
+#[test]
+fn fig1_runs() {
+    run_bench("fig1_supply_demand");
+}
+
+#[test]
+fn fig2_runs() {
+    run_bench("fig2_delivery_time_ratio");
+}
+
+#[test]
+fn fig3_runs() {
+    run_bench("fig3_delivery_scope");
+}
+
+#[test]
+fn fig4_runs() {
+    run_bench("fig4_time_distribution");
+}
+
+#[test]
+fn fig5_runs() {
+    run_bench("fig5_top_types");
+}
+
+// Model-training targets: smoke scale trains tiny models end to end.
+#[test]
+#[ignore = "several minutes even at smoke scale; run explicitly"]
+fn table3_runs() {
+    run_bench("table3_main_comparison");
+}
+
+#[test]
+fn fig10_runs() {
+    run_bench("fig10_ablation_capacity");
+}
+
+#[test]
+fn fig14_runs() {
+    run_bench("fig14_geo_distribution");
+}

@@ -1,0 +1,67 @@
+//! Serialization round-trips: datasets, tasks, and evaluation results
+//! survive JSON encoding (the formats downstream tooling would persist).
+
+use siterec_eval::EvalResult;
+use siterec_graphs::{SiteRecTask, Split};
+use siterec_sim::{O2oDataset, SimConfig};
+
+#[test]
+fn dataset_roundtrips_through_json() {
+    let data = O2oDataset::generate(SimConfig::tiny(201));
+    let json = serde_json::to_string(&data).expect("serialize dataset");
+    let back: O2oDataset = serde_json::from_str(&json).expect("deserialize dataset");
+    assert_eq!(back.orders.len(), data.orders.len());
+    assert_eq!(back.stores.len(), data.stores.len());
+    assert_eq!(back.config.seed, data.config.seed);
+    assert_eq!(
+        back.orders.last().map(|o| o.delivered),
+        data.orders.last().map(|o| o.delivered)
+    );
+}
+
+#[test]
+fn task_roundtrips_through_json() {
+    let data = O2oDataset::generate(SimConfig::tiny(202));
+    let task = SiteRecTask::build(&data, 0.8, 7);
+    let json = serde_json::to_string(&task).expect("serialize task");
+    let back: SiteRecTask = serde_json::from_str(&json).expect("deserialize task");
+    assert_eq!(back.split.train.len(), task.split.train.len());
+    assert_eq!(back.hetero.num_s(), task.hetero.num_s());
+    assert_eq!(back.hetero.sa_edges.len(), task.hetero.sa_edges.len());
+    assert_eq!(back.mobility.num_edges(), task.mobility.num_edges());
+}
+
+#[test]
+fn split_and_results_roundtrip() {
+    let data = O2oDataset::generate(SimConfig::tiny(203));
+    let split = Split::new(&data, 0.8, 9);
+    let json = serde_json::to_string(&split).unwrap();
+    let back: Split = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.max_count, split.max_count);
+    assert_eq!(back.test.first(), split.test.first());
+
+    let res = EvalResult {
+        ndcg3: 0.71,
+        precision3: 0.90,
+        rmse: 0.064,
+        types_evaluated: 14,
+        ..Default::default()
+    };
+    let back: EvalResult = serde_json::from_str(&serde_json::to_string(&res).unwrap()).unwrap();
+    assert!((back.ndcg3 - 0.71).abs() < 1e-12);
+    assert_eq!(back.types_evaluated, 14);
+}
+
+#[test]
+fn regenerating_from_deserialized_config_is_identical() {
+    let config = SimConfig::tiny(204);
+    let json = serde_json::to_string(&config).unwrap();
+    let back: SimConfig = serde_json::from_str(&json).unwrap();
+    let a = O2oDataset::generate(config);
+    let b = O2oDataset::generate(back);
+    assert_eq!(a.orders.len(), b.orders.len());
+    assert_eq!(
+        a.orders.first().map(|o| (o.store, o.created)),
+        b.orders.first().map(|o| (o.store, o.created))
+    );
+}
