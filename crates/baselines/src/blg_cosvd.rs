@@ -92,8 +92,13 @@ mod tests {
         let mut adapt = BlgCoSvd::new(Setting::Adaption, 1);
         orig.fit(&task);
         adapt.fit(&task);
-        let pairs: Vec<(usize, usize)> =
-            task.split.test.iter().take(10).map(|i| (i.region, i.ty)).collect();
+        let pairs: Vec<(usize, usize)> = task
+            .split
+            .test
+            .iter()
+            .take(10)
+            .map(|i| (i.region, i.ty))
+            .collect();
         assert_ne!(orig.predict(&task, &pairs), adapt.predict(&task, &pairs));
     }
 }

@@ -67,16 +67,26 @@ mod tests {
 
     #[test]
     fn citytransfer_beats_constant_predictor() {
-        let d = O2oDataset::generate(SimConfig::tiny(81));
-        let task = SiteRecTask::build(&d, 0.8, 4);
-        let mut m = CityTransfer::new(Setting::Original, 1);
-        m.fit(&task);
-        let res = evaluate(&task.split, |pairs| m.predict(&task, pairs));
-        // Small-sample ranking metrics are noisy; require the learned model
-        // to land clearly above the random-ranking regime (~0.45 at the
-        // harness's truth-to-pool ratio).
-        assert!(res.ndcg3 > 0.5, "ndcg3 {}", res.ndcg3);
-        assert!(res.rmse < 0.5);
+        // Small-sample ranking metrics are noisy under any single seed (and
+        // under any particular RNG stream), so average over a few dataset
+        // seeds and require the mean to land clearly above the
+        // random-ranking regime (~0.45 at the harness's truth-to-pool
+        // ratio).
+        let seeds = [81u64, 82, 83];
+        let (mut ndcg, mut rmse) = (0.0, 0.0);
+        for &s in &seeds {
+            let d = O2oDataset::generate(SimConfig::tiny(s));
+            let task = SiteRecTask::build(&d, 0.8, 4);
+            let mut m = CityTransfer::new(Setting::Original, 1);
+            m.fit(&task);
+            let res = evaluate(&task.split, |pairs| m.predict(&task, pairs));
+            ndcg += res.ndcg3;
+            rmse += res.rmse;
+        }
+        ndcg /= seeds.len() as f64;
+        rmse /= seeds.len() as f64;
+        assert!(ndcg > 0.5, "mean ndcg3 {ndcg}");
+        assert!(rmse < 0.5, "mean rmse {rmse}");
     }
 
     #[test]
@@ -87,8 +97,13 @@ mod tests {
         let mut adapt = CityTransfer::new(Setting::Adaption, 1);
         orig.fit(&task);
         adapt.fit(&task);
-        let pairs: Vec<(usize, usize)> =
-            task.split.test.iter().take(10).map(|i| (i.region, i.ty)).collect();
+        let pairs: Vec<(usize, usize)> = task
+            .split
+            .test
+            .iter()
+            .take(10)
+            .map(|i| (i.region, i.ty))
+            .collect();
         assert_ne!(orig.predict(&task, &pairs), adapt.predict(&task, &pairs));
         assert_eq!(orig.setting().label(), "Original");
         assert_eq!(adapt.setting().label(), "Adaption");

@@ -136,9 +136,7 @@ pub fn train_triples(task: &SiteRecTask) -> Vec<(usize, usize, f32)> {
     task.split
         .train
         .iter()
-        .filter_map(|i| {
-            task.hetero.s_of_region[i.region].map(|s| (s, i.ty, i.norm))
-        })
+        .filter_map(|i| task.hetero.s_of_region[i.region].map(|s| (s, i.ty, i.norm)))
         .collect()
 }
 

@@ -47,7 +47,13 @@ impl GcMc {
         }
     }
 
-    fn forward(state: &State, g: &mut Graph, binds: &siterec_tensor::Bindings, pair_s: &[usize], pair_a: &[usize]) -> Var {
+    fn forward(
+        state: &State,
+        g: &mut Graph,
+        binds: &siterec_tensor::Bindings,
+        pair_s: &[usize],
+        pair_a: &[usize],
+    ) -> Var {
         let h0 = state.s_nodes.initial(g, binds);
         let q0 = state.a_nodes.initial(g, binds);
         // One conv layer in each direction (degree-normalized mean).
@@ -182,8 +188,7 @@ mod tests {
         let mut m = GcMc::new(Setting::Adaption, 2);
         m.epochs = 10;
         m.fit(&task);
-        let pairs: Vec<(usize, usize)> =
-            task.split.test.iter().map(|i| (i.region, i.ty)).collect();
+        let pairs: Vec<(usize, usize)> = task.split.test.iter().map(|i| (i.region, i.ty)).collect();
         for p in m.predict(&task, &pairs) {
             assert!((0.0..=1.0).contains(&p));
         }

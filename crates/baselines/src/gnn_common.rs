@@ -90,6 +90,7 @@ impl GatAggregator {
 
     /// Aggregate `src_emb` into destinations with attention computed from
     /// `[h_src, h_dst]` pairs.
+    #[allow(clippy::too_many_arguments)]
     pub fn forward(
         &self,
         g: &mut Graph,

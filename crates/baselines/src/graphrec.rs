@@ -66,44 +66,28 @@ impl GraphRec {
         let q0 = state.a_nodes.initial(g, binds);
 
         // User (customer-region) modeling: aggregate preferred types.
-        let ua_msg = state.ua_att.forward(
-            g,
-            binds,
-            q0,
-            z0,
-            &state.ua.srcs,
-            &state.ua.dsts,
-            state.n_u,
-        );
+        let ua_msg =
+            state
+                .ua_att
+                .forward(g, binds, q0, z0, &state.ua.srcs, &state.ua.dsts, state.n_u);
         let z_sum = g.add(ua_msg, z0);
         let z_lin = state.w_u.forward(g, binds, z_sum);
         let z = g.relu(z_lin);
 
         // Item (store-region) modeling: aggregate surrounding customers
         // (the "social" side) plus type interactions.
-        let su_msg = state.su_att.forward(
-            g,
-            binds,
-            z,
-            h0,
-            &state.su.srcs,
-            &state.su.dsts,
-            state.n_s,
-        );
+        let su_msg =
+            state
+                .su_att
+                .forward(g, binds, z, h0, &state.su.srcs, &state.su.dsts, state.n_s);
         let s_sum = g.add(su_msg, h0);
         let s_lin = state.w_s.forward(g, binds, s_sum);
         let h = g.relu(s_lin);
 
         // Type modeling from interactions.
-        let as_msg = state.as_att.forward(
-            g,
-            binds,
-            h,
-            q0,
-            &state.ia_s,
-            &state.ia_a,
-            state.n_a,
-        );
+        let as_msg = state
+            .as_att
+            .forward(g, binds, h, q0, &state.ia_s, &state.ia_a, state.n_a);
         let a_sum = g.add(as_msg, q0);
         let a_lin = state.w_a.forward(g, binds, a_sum);
         let q = g.relu(a_lin);

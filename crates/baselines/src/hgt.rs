@@ -36,10 +36,10 @@ struct Layer {
     s: TypeProj,
     u: TypeProj,
     a: TypeProj,
-    su: RelationMat, // U -> S
+    su: RelationMat,  // U -> S
     as_: RelationMat, // A -> S
-    ua: RelationMat, // A -> U
-    sa: RelationMat, // S -> A
+    ua: RelationMat,  // A -> U
+    sa: RelationMat,  // S -> A
 }
 
 /// HGT baseline.
@@ -154,19 +154,51 @@ impl Hgt {
 
         for layer in &state.layers {
             let to_s_from_u = hgt_aggregate(
-                g, binds, &layer.u, &layer.s, &layer.su, z, h, &state.su.srcs, &state.su.dsts,
+                g,
+                binds,
+                &layer.u,
+                &layer.s,
+                &layer.su,
+                z,
+                h,
+                &state.su.srcs,
+                &state.su.dsts,
                 state.n_s,
             );
             let to_s_from_a = hgt_aggregate(
-                g, binds, &layer.a, &layer.s, &layer.as_, q, h, &state.sa_a, &state.sa_s,
+                g,
+                binds,
+                &layer.a,
+                &layer.s,
+                &layer.as_,
+                q,
+                h,
+                &state.sa_a,
+                &state.sa_s,
                 state.n_s,
             );
             let to_u_from_a = hgt_aggregate(
-                g, binds, &layer.a, &layer.u, &layer.ua, q, z, &state.ua.srcs, &state.ua.dsts,
+                g,
+                binds,
+                &layer.a,
+                &layer.u,
+                &layer.ua,
+                q,
+                z,
+                &state.ua.srcs,
+                &state.ua.dsts,
                 state.n_u,
             );
             let to_a_from_s = hgt_aggregate(
-                g, binds, &layer.s, &layer.a, &layer.sa, h, q, &state.sa_s, &state.sa_a,
+                g,
+                binds,
+                &layer.s,
+                &layer.a,
+                &layer.sa,
+                h,
+                q,
+                &state.sa_s,
+                &state.sa_a,
                 state.n_a,
             );
 

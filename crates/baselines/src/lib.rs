@@ -4,14 +4,14 @@
 //! re-implemented from its original description and exposed in the paper's
 //! two feature settings:
 //!
-//! * **Store site recommendation**: [`CityTransfer`] [17] (SVD + feature
-//!   regression, inter-city transfer discarded) and [`BlgCoSvd`] [15]
+//! * **Store site recommendation**: [`CityTransfer`] \[17\] (SVD + feature
+//!   regression, inter-city transfer discarded) and [`BlgCoSvd`] \[15\]
 //!   (biased co-SVD with geographic regularization).
-//! * **Graph-based general recommendation**: [`GcMc`] [29] (graph conv
-//!   matrix completion) and [`GraphRec`] [28] (attention aggregation over
+//! * **Graph-based general recommendation**: [`GcMc`] \[29\] (graph conv
+//!   matrix completion) and [`GraphRec`] \[28\] (attention aggregation over
 //!   the S-U bipartite graph standing in for the social graph).
-//! * **Heterogeneous graph methods**: [`Rgcn`] [30] (relation-specific
-//!   simple message passing) and [`Hgt`] [31] (heterogeneous graph
+//! * **Heterogeneous graph methods**: [`Rgcn`] \[30\] (relation-specific
+//!   simple message passing) and [`Hgt`] \[31\] (heterogeneous graph
 //!   transformer).
 //!
 //! All graph baselines consume a *period-flattened* view of the region-type
@@ -63,7 +63,14 @@ mod tests {
         let names: Vec<&str> = bs.iter().map(|b| b.name()).collect();
         assert_eq!(
             names,
-            vec!["CityTransfer", "BL-G-CoSVD", "GC-MC", "GraphRec", "RGCN", "HGT"]
+            vec![
+                "CityTransfer",
+                "BL-G-CoSVD",
+                "GC-MC",
+                "GraphRec",
+                "RGCN",
+                "HGT"
+            ]
         );
         assert!(bs.iter().all(|b| b.setting() == Setting::Original));
     }

@@ -1,5 +1,5 @@
 //! Matrix-factorization machinery shared by the two store-site
-//! recommendation baselines (CityTransfer [17] and BL-G-CoSVD [15]).
+//! recommendation baselines (CityTransfer \[17\] and BL-G-CoSVD \[15\]).
 //!
 //! `p̂_ra = μ + b_r + b_a + u_rᵀ v_a + wᵀ x_r` trained by SGD on observed
 //! interactions, optionally with a geographic co-regularizer pulling latent
@@ -199,8 +199,7 @@ mod tests {
         // Targets equal the region feature. Train on regions 0..7; region 7
         // is never seen. With feature regression the model extrapolates via
         // w; without it the cold region falls back to the global mean.
-        let triples: Vec<(usize, usize, f32)> =
-            (0..7).map(|r| (r, 0, 0.1 * r as f32)).collect();
+        let triples: Vec<(usize, usize, f32)> = (0..7).map(|r| (r, 0, 0.1 * r as f32)).collect();
         let features: Vec<Vec<f32>> = (0..8).map(|r| vec![0.1 * r as f32]).collect();
         let build = |feature_weight: f32| {
             let mut m = FactorModel::new(
@@ -257,7 +256,8 @@ mod tests {
         );
         free.fit(&triples, &neighbors);
         let dist = |m: &FactorModel, a: usize, b: usize| -> f32 {
-            m.u[a].iter()
+            m.u[a]
+                .iter()
                 .zip(&m.u[b])
                 .map(|(x, y)| (x - y) * (x - y))
                 .sum::<f32>()

@@ -229,12 +229,20 @@ mod tests {
 
     #[test]
     fn rgcn_learns_interactions() {
-        let d = O2oDataset::generate(SimConfig::tiny(95));
-        let task = SiteRecTask::build(&d, 0.8, 6);
-        let mut m = Rgcn::new(Setting::Original, 4);
-        m.epochs = 40;
-        m.fit(&task);
-        let res = evaluate(&task.split, |pairs| m.predict(&task, pairs));
-        assert!(res.ndcg3 > 0.35, "ndcg3 {}", res.ndcg3);
+        // Average over a few dataset seeds: a single tiny-scale draw is too
+        // noisy to gate on, regardless of which RNG stream backs StdRng.
+        let seeds = [95u64, 96, 97];
+        let mut ndcg = 0.0;
+        for &s in &seeds {
+            let d = O2oDataset::generate(SimConfig::tiny(s));
+            let task = SiteRecTask::build(&d, 0.8, 6);
+            let mut m = Rgcn::new(Setting::Original, 4);
+            m.epochs = 40;
+            m.fit(&task);
+            let res = evaluate(&task.split, |pairs| m.predict(&task, pairs));
+            ndcg += res.ndcg3;
+        }
+        ndcg /= seeds.len() as f64;
+        assert!(ndcg > 0.35, "mean ndcg3 {ndcg}");
     }
 }

@@ -40,10 +40,16 @@ fn probe_simple_rankers() {
     let mut ct = CityTransfer::new(Setting::Original, 1);
     ct.fit(&task);
     let r = evaluate(&task.split, |pairs| ct.predict(&task, pairs));
-    println!("citytransfer ndcg3 {:.4} p3 {:.4} rmse {:.4}", r.ndcg3, r.precision3, r.rmse);
+    println!(
+        "citytransfer ndcg3 {:.4} p3 {:.4} rmse {:.4}",
+        r.ndcg3, r.precision3, r.rmse
+    );
 
     let mut co = BlgCoSvd::new(Setting::Original, 1);
     co.fit(&task);
     let r = evaluate(&task.split, |pairs| co.predict(&task, pairs));
-    println!("cosvd ndcg3 {:.4} p3 {:.4} rmse {:.4}", r.ndcg3, r.precision3, r.rmse);
+    println!(
+        "cosvd ndcg3 {:.4} p3 {:.4} rmse {:.4}",
+        r.ndcg3, r.precision3, r.rmse
+    );
 }

@@ -33,7 +33,11 @@ fn main() {
             acc[1] += res.ndcg5;
             acc[2] += res.precision3;
             acc[3] += res.precision5;
-            eprintln!("  [{:?}] {} seed {seed} done", t0.elapsed(), variant.label());
+            eprintln!(
+                "  [{:?}] {} seed {seed} done",
+                t0.elapsed(),
+                variant.label()
+            );
         }
         let n = seeds.len() as f64;
         let res = siterec_eval::EvalResult {

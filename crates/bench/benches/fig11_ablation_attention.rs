@@ -34,7 +34,11 @@ fn main() {
             acc[1] += res.ndcg5;
             acc[2] += res.precision3;
             acc[3] += res.precision5;
-            eprintln!("  [{:?}] {} seed {seed} done", t0.elapsed(), variant.label());
+            eprintln!(
+                "  [{:?}] {} seed {seed} done",
+                t0.elapsed(),
+                variant.label()
+            );
         }
         let n = seeds.len() as f64;
         let res = siterec_eval::EvalResult {
@@ -58,9 +62,17 @@ fn main() {
         "shape check: full {:.4} > w/o NA {:.4} -> {}; full > w/o SA {:.4} -> {}",
         scores[0],
         scores[1],
-        if scores[0] > scores[1] { "OK" } else { "MISMATCH" },
+        if scores[0] > scores[1] {
+            "OK"
+        } else {
+            "MISMATCH"
+        },
         scores[2],
-        if scores[0] > scores[2] { "OK" } else { "MISMATCH" }
+        if scores[0] > scores[2] {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
     println!("total wall time: {:?}", t0.elapsed());
 }

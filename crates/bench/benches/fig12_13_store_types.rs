@@ -57,7 +57,10 @@ fn main() {
     eprintln!("  [{:?}] GraphRec done", t0.elapsed());
 
     for (metric, get) in [
-        ("NDCG@3 (Fig. 12)", (|t: &TypeResult| t.ndcg3) as fn(&TypeResult) -> f64),
+        (
+            "NDCG@3 (Fig. 12)",
+            (|t: &TypeResult| t.ndcg3) as fn(&TypeResult) -> f64,
+        ),
         ("Precision@3 (Fig. 13)", |t: &TypeResult| t.precision3),
     ] {
         println!("--- {metric} ---");
@@ -82,8 +85,8 @@ fn main() {
         println!("{}", table.render());
         if !o2_vals.is_empty() {
             let mean = o2_vals.iter().sum::<f64>() / o2_vals.len() as f64;
-            let var = o2_vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / o2_vals.len() as f64;
+            let var =
+                o2_vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / o2_vals.len() as f64;
             println!("O2-SiteRec cross-type std: {:.4}\n", var.sqrt());
         }
     }

@@ -59,7 +59,11 @@ fn main() {
         avg,
         if down >= avg - 0.02 { "OK" } else { "MISMATCH" },
         sub,
-        if sub <= down && sub <= avg { "OK" } else { "MISMATCH" }
+        if sub <= down && sub <= avg {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
     println!("total wall time: {:?}", t0.elapsed());
 }

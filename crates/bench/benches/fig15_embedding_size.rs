@@ -42,7 +42,11 @@ fn main() {
         "best d2 = {} (paper: 90); spread across sizes {:.4} -> {}",
         best.0,
         spread,
-        if spread < 0.15 { "OK: relatively stable (matches paper)" } else { "check: high sensitivity" }
+        if spread < 0.15 {
+            "OK: relatively stable (matches paper)"
+        } else {
+            "check: high sensitivity"
+        }
     );
     println!("total wall time: {:?}", t0.elapsed());
 }

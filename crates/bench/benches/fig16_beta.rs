@@ -36,7 +36,11 @@ fn main() {
     println!(
         "spread across beta: {:.4} -> {} (paper: overall stable, 0.2 best)",
         spread,
-        if spread < 0.15 { "OK: stable" } else { "check: high sensitivity" }
+        if spread < 0.15 {
+            "OK: stable"
+        } else {
+            "check: high sensitivity"
+        }
     );
     println!("total wall time: {:?}", t0.elapsed());
 }

@@ -18,7 +18,12 @@ fn main() {
     let ratio = data.supply_demand_ratio_by_slot();
     let max_couriers = couriers.iter().copied().fold(f64::MIN, f64::max).max(1e-9);
 
-    let mut table = Table::new(&["slot", "orders (norm)", "couriers (norm)", "supply/demand (norm)"]);
+    let mut table = Table::new(&[
+        "slot",
+        "orders (norm)",
+        "couriers (norm)",
+        "supply/demand (norm)",
+    ]);
     for i in 0..12 {
         table.row(vec![
             Slot2h(i as u32).label(),
@@ -35,6 +40,10 @@ fn main() {
         "shape check: lunch-rush ratio {:.3} < afternoon ratio {:.3} -> {}",
         lunch,
         afternoon,
-        if lunch < afternoon { "OK (matches paper)" } else { "MISMATCH" }
+        if lunch < afternoon {
+            "OK (matches paper)"
+        } else {
+            "MISMATCH"
+        }
     );
 }

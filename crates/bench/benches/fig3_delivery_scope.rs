@@ -30,6 +30,10 @@ fn main() {
         "shape check: noon-rush scope {:.2} km < afternoon scope {:.2} km -> {}",
         noon / 1000.0,
         afternoon / 1000.0,
-        if noon < afternoon { "OK (pressure control, matches paper)" } else { "MISMATCH" }
+        if noon < afternoon {
+            "OK (pressure control, matches paper)"
+        } else {
+            "MISMATCH"
+        }
     );
 }

@@ -25,8 +25,8 @@ fn main() {
     let mut table = Table::new(&header_refs);
     for p in Period::ALL {
         let mut row = vec![p.label().to_string()];
-        for b in 0..nbins {
-            row.push(hist[p.index()][b].to_string());
+        for count in hist[p.index()].iter().take(nbins) {
+            row.push(count.to_string());
         }
         table.row(row);
     }
@@ -45,7 +45,11 @@ fn main() {
         "noon-rush modal band: {}-{} min -> {}",
         modal * 10,
         modal * 10 + 10,
-        if (2..=3).contains(&modal) { "OK (paper: 20-30 min)" } else { "check" }
+        if (2..=3).contains(&modal) {
+            "OK (paper: 20-30 min)"
+        } else {
+            "check"
+        }
     );
     let tail_decays = noon[4] >= noon[6];
     println!(

@@ -35,6 +35,10 @@ fn main() {
         "shape check: morning top-3 {:?} != evening top-3 {:?} -> {}",
         morning,
         evening,
-        if morning != evening { "OK (preferences shift, matches paper)" } else { "MISMATCH" }
+        if morning != evening {
+            "OK (preferences shift, matches paper)"
+        } else {
+            "MISMATCH"
+        }
     );
 }

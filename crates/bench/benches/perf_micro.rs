@@ -13,7 +13,9 @@ use std::time::Duration;
 
 fn bench_tensor_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("tensor");
-    group.measurement_time(Duration::from_secs(4)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(20);
 
     let a = Tensor::full(256, 90, 0.5);
     let b = Tensor::full(90, 90, 0.25);

@@ -1,0 +1,199 @@
+//! Serial-vs-parallel performance comparison (not a paper artifact): the
+//! dominant tensor kernels and the harness fan-out timed at 1/2/4/8 threads.
+//!
+//! Results go to stdout and to `BENCH_parallel.json` at the repo root,
+//! together with the host core count — speedups are only meaningful relative
+//! to the cores that were actually available (a 1-core container cannot show
+//! any, and the JSON says so rather than pretending).
+//!
+//! Run with: `cargo bench -p siterec-bench --bench perf_parallel`
+//! (`SITEREC_SMOKE=1` shrinks the workloads to CI scale.)
+
+use siterec_bench::context::is_smoke;
+use siterec_core::{O2SiteRec, ParallelConfig, SiteRecConfig};
+use siterec_eval::run_jobs;
+use siterec_graphs::SiteRecTask;
+use siterec_sim::{O2oDataset, SimConfig};
+use siterec_tensor::{Graph, Init, ParamStore, Tensor};
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    name: &'static str,
+    /// Median seconds per thread count, same order as [`THREADS`].
+    secs: Vec<f64>,
+}
+
+impl Row {
+    fn speedup(&self, i: usize) -> f64 {
+        self.secs[0] / self.secs[i]
+    }
+}
+
+fn bench_kernels(reps: usize, scale: usize) -> Vec<Row> {
+    // Sizes chosen so each kernel clears the parallel runtime's minimum
+    // work-per-worker threshold at every thread count tested.
+    let (n, k, m) = (128 * scale, 96 * scale, 64 * scale);
+    let a = Tensor::full(n, k, 0.5);
+    let b = Tensor::full(k, m, 0.25);
+
+    let n_nodes = 128 * scale;
+    let n_edges = 12_000 * scale * scale;
+    let dim = 48;
+    let emb0 = Tensor::full(n_nodes, dim, 0.1);
+    let src: Vec<usize> = (0..n_edges).map(|i| (i * 31) % n_nodes).collect();
+    let dst: Vec<usize> = (0..n_edges).map(|i| (i * 7) % n_nodes).collect();
+
+    let mut ps = ParamStore::new(1);
+    let w = ps.add("w", 256 * scale, 256 * scale, Init::XavierUniform);
+    let adam_target = Tensor::zeros(256 * scale, 256 * scale);
+
+    let mut rows = vec![
+        Row {
+            name: "matmul",
+            secs: Vec::new(),
+        },
+        Row {
+            name: "attention_fwd_bwd",
+            secs: Vec::new(),
+        },
+        Row {
+            name: "adam_step",
+            secs: Vec::new(),
+        },
+    ];
+    for &t in &THREADS {
+        ParallelConfig::with_threads(t).install();
+        rows[0].secs.push(time_median(reps, || {
+            black_box(a.matmul(&b));
+        }));
+        rows[1].secs.push(time_median(reps, || {
+            let mut g = Graph::new();
+            let emb = g.param(emb0.clone());
+            let hs = g.gather_rows(emb, &src);
+            let ht = g.gather_rows(emb, &dst);
+            let s = g.row_dot(hs, ht);
+            let alpha = g.segment_softmax(&dst, s);
+            let wv = g.mul_col_broadcast(hs, alpha);
+            let agg = g.segment_sum(wv, &dst, n_nodes);
+            let loss = g.mean_all(agg);
+            g.backward(loss);
+            black_box(g.grad(emb).is_some());
+        }));
+        rows[2].secs.push(time_median(reps, || {
+            use siterec_tensor::optim::{Adam, Optimizer};
+            let mut opt = Adam::new(1e-3);
+            for _ in 0..3 {
+                let mut g = Graph::new();
+                let binds = ps.bind(&mut g);
+                let y = g.tanh(binds.var(w));
+                let loss = g.mse_loss(y, &adam_target);
+                g.backward(loss);
+                ps.zero_grads();
+                ps.harvest(&g, &binds);
+                opt.step(&mut ps);
+            }
+            black_box(ps.get(w).value.data()[0]);
+        }));
+    }
+    ParallelConfig::serial().install();
+    rows
+}
+
+fn bench_harness(reps: usize, jobs: usize, epochs: usize) -> Row {
+    let data = O2oDataset::generate(SimConfig::tiny(1));
+    let task = SiteRecTask::build(&data, 0.8, 1);
+    let mut secs = Vec::new();
+    for &t in &THREADS {
+        secs.push(time_median(reps, || {
+            let seeds: Vec<u64> = (0..jobs as u64).collect();
+            let out = run_jobs(&seeds, t, |&seed| {
+                let cfg = SiteRecConfig {
+                    epochs,
+                    seed,
+                    ..SiteRecConfig::fast()
+                };
+                let mut m = O2SiteRec::new(&data, &task, cfg);
+                m.train();
+                m.history().last().map(|e| e.loss).unwrap_or(0.0)
+            });
+            black_box(out);
+        }));
+    }
+    Row {
+        name: "harness_fanout_train",
+        secs,
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let smoke = is_smoke();
+    let (reps, scale, jobs, epochs) = if smoke { (3, 1, 2, 1) } else { (5, 2, 4, 3) };
+    println!("=== serial vs parallel: kernels and harness fan-out ===");
+    println!("host cores available: {cores} (speedups are bounded above by this)\n");
+
+    let mut rows = bench_kernels(reps, scale);
+    rows.push(bench_harness(reps, jobs, epochs));
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}   speedup@8",
+        "kernel", "1 thr", "2 thr", "4 thr", "8 thr"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>9.2}ms {:>9.2}ms {:>9.2}ms {:>9.2}ms   {:>6.2}x",
+            r.name,
+            r.secs[0] * 1e3,
+            r.secs[1] * 1e3,
+            r.secs[2] * 1e3,
+            r.secs[3] * 1e3,
+            r.speedup(3)
+        );
+    }
+
+    // Hand-rendered JSON: the serde_json dependency may be the offline stub,
+    // whose serializer is a placeholder (see vendor/stubs/README.md).
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"hardware\": {{ \"cores_available\": {cores} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"smoke\": {smoke},\n  \"threads\": [1, 2, 4, 8],\n  \"kernels\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        let secs: Vec<String> = r.secs.iter().map(|s| format!("{s:.6}")).collect();
+        let sp: Vec<String> = (0..THREADS.len())
+            .map(|j| format!("{:.3}", r.speedup(j)))
+            .collect();
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"median_secs\": [{}], \"speedup\": [{}] }}{}\n",
+            r.name,
+            secs.join(", "),
+            sp.join(", "),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}

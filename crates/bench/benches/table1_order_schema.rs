@@ -11,12 +11,7 @@ fn main() {
     let ctx = real_world_or_smoke(0);
     let grid = &ctx.data.city.grid;
 
-    let mut table = Table::new(&[
-        "field",
-        "example 1",
-        "example 2",
-        "example 3",
-    ]);
+    let mut table = Table::new(&["field", "example 1", "example 2", "example 3"]);
     let picks: Vec<&siterec_sim::Order> = ctx
         .data
         .orders
@@ -24,25 +19,48 @@ fn main() {
         .filter(|o| o.distance_m > 1_000.0)
         .take(3)
         .collect();
-    let fmt_time = |t: siterec_geo::SimMinute| {
-        format!("day {} {:02}:{:02}", t.day(), t.hour(), t.minute())
-    };
+    let fmt_time =
+        |t: siterec_geo::SimMinute| format!("day {} {:02}:{:02}", t.day(), t.hour(), t.minute());
     let cell = |f: &dyn Fn(&siterec_sim::Order) -> String| -> Vec<String> {
         picks.iter().map(|o| f(o)).collect()
     };
     let rows: Vec<(&str, Vec<String>)> = vec![
-        ("store longitude", cell(&|o| format!("{:.4}", grid.center(o.store_region).lon))),
-        ("store latitude", cell(&|o| format!("{:.4}", grid.center(o.store_region).lat))),
-        ("customer longitude", cell(&|o| format!("{:.4}", grid.center(o.customer_region).lon))),
-        ("customer latitude", cell(&|o| format!("{:.4}", grid.center(o.customer_region).lat))),
+        (
+            "store longitude",
+            cell(&|o| format!("{:.4}", grid.center(o.store_region).lon)),
+        ),
+        (
+            "store latitude",
+            cell(&|o| format!("{:.4}", grid.center(o.store_region).lat)),
+        ),
+        (
+            "customer longitude",
+            cell(&|o| format!("{:.4}", grid.center(o.customer_region).lon)),
+        ),
+        (
+            "customer latitude",
+            cell(&|o| format!("{:.4}", grid.center(o.customer_region).lat)),
+        ),
         ("order creation", cell(&|o| fmt_time(o.created))),
         ("order acceptance", cell(&|o| fmt_time(o.accepted))),
         ("pickup reporting", cell(&|o| fmt_time(o.pickup))),
         ("delivery reporting", cell(&|o| fmt_time(o.delivered))),
-        ("store id / customer region", cell(&|o| format!("S{:04}/R{:03}", o.store.0, o.customer_region.0))),
-        ("order id / courier id", cell(&|o| format!("O{:06}/C{:04}", o.id.0, o.courier.0))),
-        ("customer-store distance (m)", cell(&|o| format!("{:.0}", o.distance_m))),
-        ("store type", cell(&|o| ctx.data.store_types[o.ty.0].name.clone())),
+        (
+            "store id / customer region",
+            cell(&|o| format!("S{:04}/R{:03}", o.store.0, o.customer_region.0)),
+        ),
+        (
+            "order id / courier id",
+            cell(&|o| format!("O{:06}/C{:04}", o.id.0, o.courier.0)),
+        ),
+        (
+            "customer-store distance (m)",
+            cell(&|o| format!("{:.0}", o.distance_m)),
+        ),
+        (
+            "store type",
+            cell(&|o| ctx.data.store_types[o.ty.0].name.clone()),
+        ),
     ];
     for (field, cells) in rows {
         let mut row = vec![field.to_string()];

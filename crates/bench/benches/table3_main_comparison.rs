@@ -9,7 +9,9 @@
 
 use siterec_baselines::{all_baselines, Baseline, Hgt, Setting};
 use siterec_bench::context::real_world_or_smoke;
-use siterec_bench::runners::{baseline_epochs, default_model_config, run_baseline, run_o2};
+use siterec_bench::runners::{
+    baseline_epochs, default_model_config, run_baseline, run_o2, run_rounds,
+};
 use siterec_core::Variant;
 use siterec_eval::stats::paired_t_test;
 use siterec_eval::{full_metric_cells, stars, EvalResult, Table};
@@ -26,18 +28,18 @@ fn main() {
     let t0 = Instant::now();
     let rounds = rounds();
     println!("=== Table III: performance comparison on the real-world-like dataset ===");
-    println!("(rounds = {rounds}; O2-SiteRec and HGT-Adaption repeated every round for the t-test)\n");
+    println!(
+        "(rounds = {rounds}; O2-SiteRec and HGT-Adaption repeated every round for the t-test)\n"
+    );
 
     // Round 0 carries the full baseline grid; O2-SiteRec and HGT (the t-test
-    // pair) run in every round.
-    let mut o2_ndcg3 = Vec::new();
-    let mut hgt_ndcg3 = Vec::new();
-    let mut o2_results: Vec<EvalResult> = Vec::new();
-    let mut hgt_results: Vec<EvalResult> = Vec::new();
-    let mut baseline_rows: Vec<(String, String, EvalResult)> = Vec::new();
-
-    for round in 0..rounds {
+    // pair) run in every round. Rounds are independent — each derives its
+    // dataset, split and model seeds from the round index alone — so they fan
+    // out across `SITEREC_THREADS` harness threads (default: serial). Results
+    // come back in round order, making the table identical either way.
+    let round_outputs = run_rounds(rounds, |round| {
         let ctx = real_world_or_smoke(round);
+        let mut baseline_rows: Vec<(String, String, EvalResult)> = Vec::new();
         if round == 0 {
             println!(
                 "dataset: {} orders, {} stores, {} regions, {} types; train {} / test {} interactions\n",
@@ -50,7 +52,7 @@ fn main() {
             );
             for setting in [Setting::Original, Setting::Adaption] {
                 for mut b in all_baselines(setting, 7 + round) {
-                    // HGT-Adaption is handled by the per-round loop below.
+                    // HGT-Adaption is handled by the per-round pair below.
                     if b.name() == "HGT" && setting == Setting::Adaption {
                         continue;
                     }
@@ -70,15 +72,21 @@ fn main() {
         let mut hgt = Hgt::new(Setting::Adaption, 7 + round);
         hgt.set_epochs(baseline_epochs());
         let hgt_res = run_baseline(&ctx, &mut hgt);
-        hgt_ndcg3.push(hgt_res.ndcg3);
-        hgt_results.push(hgt_res);
         eprintln!("  [{:?}] HGT Adaption round {round} done", t0.elapsed());
 
         let (o2_res, _) = run_o2(&ctx, default_model_config(Variant::Full, 17 + round));
-        o2_ndcg3.push(o2_res.ndcg3);
-        o2_results.push(o2_res);
         eprintln!("  [{:?}] O2-SiteRec round {round} done", t0.elapsed());
-    }
+        (baseline_rows, hgt_res, o2_res)
+    });
+
+    let baseline_rows: Vec<(String, String, EvalResult)> = round_outputs
+        .iter()
+        .flat_map(|(rows, _, _)| rows.clone())
+        .collect();
+    let hgt_results: Vec<EvalResult> = round_outputs.iter().map(|&(_, h, _)| h).collect();
+    let o2_results: Vec<EvalResult> = round_outputs.iter().map(|&(_, _, o)| o).collect();
+    let hgt_ndcg3: Vec<f64> = hgt_results.iter().map(|r| r.ndcg3).collect();
+    let o2_ndcg3: Vec<f64> = o2_results.iter().map(|r| r.ndcg3).collect();
 
     let mean_res = |rs: &[EvalResult]| -> EvalResult {
         let n = rs.len() as f64;

@@ -99,7 +99,11 @@ fn main() {
         "shape check: O2-SiteRec NDCG@3 {:.4} vs best baseline (HGT) {:.4} -> {}",
         o2_acc[0] / n,
         hgt_acc[0] / n,
-        if o2_acc[0] > hgt_acc[0] { "OK" } else { "MISMATCH" }
+        if o2_acc[0] > hgt_acc[0] {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
     println!("note: paper reports lower absolute numbers here than on the real-world data\n(noise + sparsity); the same degradation is expected in this reproduction.");
     println!("total wall time: {:?}", t0.elapsed());

@@ -16,17 +16,9 @@ fn main() {
         ctx.task.split.train.len(),
         ctx.task.split.test.len()
     );
-    let run = |d2: usize, epochs: usize, lr: f32, seed: u64| {
-        run_dropout(&ctx, d2, epochs, lr, seed, 0.1)
-    };
-    fn run_dropout(
-        ctx: &Context,
-        d2: usize,
-        epochs: usize,
-        lr: f32,
-        seed: u64,
-        dropout: f32,
-    ) {
+    let run =
+        |d2: usize, epochs: usize, lr: f32, seed: u64| run_dropout(&ctx, d2, epochs, lr, seed, 0.1);
+    fn run_dropout(ctx: &Context, d2: usize, epochs: usize, lr: f32, seed: u64, dropout: f32) {
         run_full(ctx, d2, epochs, lr, seed, dropout, 5.0)
     }
     #[allow(clippy::too_many_arguments)]

@@ -37,7 +37,7 @@ impl Context {
 /// Allow `SMOKE=1` (set by the test suite) to shrink bench workloads so the
 /// table code paths run in CI-scale time.
 pub fn is_smoke() -> bool {
-    std::env::var("SITEREC_SMOKE").map_or(false, |v| v == "1")
+    std::env::var("SITEREC_SMOKE").is_ok_and(|v| v == "1")
 }
 
 /// Smoke-scale context (used when [`is_smoke`] is set).

@@ -4,7 +4,9 @@
 use crate::context::{is_smoke, Context};
 use siterec_baselines::Baseline;
 use siterec_core::{O2SiteRec, SiteRecConfig, Variant};
-use siterec_eval::{evaluate, evaluate_with_types, EvalResult, TypeResult};
+use siterec_eval::{
+    evaluate, evaluate_with_types, harness_threads, run_jobs, EvalResult, TypeResult,
+};
 
 /// Epochs used by the experiment benches for O²-SiteRec.
 pub fn o2_epochs() -> usize {
@@ -63,6 +65,23 @@ pub fn run_o2_with_types(
     model.train();
     let (res, types) = evaluate_with_types(&ctx.task.split, |pairs| model.predict(pairs));
     (res, types, model)
+}
+
+/// Run one independent job per round index, fanning out across
+/// `SITEREC_THREADS` harness threads (default 1 = serial).
+///
+/// `f` must derive everything — dataset, split, model seeds — from the round
+/// index alone, which is already the convention of every bench in this crate
+/// (`Context::real_world(round)`, `default_model_config(v, 17 + round)`, …).
+/// Results come back in round order, so the rendered tables are identical to
+/// a serial run; only the wall-clock changes.
+///
+/// Jobs that train a model install the kernel-level thread knob themselves
+/// (via `SiteRecConfig::parallel`); with harness fan-out active, keep that
+/// knob at its serial default so the two tiers don't oversubscribe cores.
+pub fn run_rounds<R: Send>(rounds: u64, f: impl Fn(u64) -> R + Sync) -> Vec<R> {
+    let idx: Vec<u64> = (0..rounds).collect();
+    run_jobs(&idx, harness_threads(), |&round| f(round))
 }
 
 /// Fit a baseline and evaluate it.

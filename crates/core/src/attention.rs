@@ -99,8 +99,7 @@ impl RelationAttention {
         for i in 0..self.heads {
             let k_i = g.slice_cols(k_all, i * self.head_dim, self.head_dim);
             let q_i = g.slice_cols(q_all, i * self.head_dim, self.head_dim);
-            let we_rows: Vec<usize> =
-                (i * self.head_dim..(i + 1) * self.head_dim).collect();
+            let we_rows: Vec<usize> = (i * self.head_dim..(i + 1) * self.head_dim).collect();
             let w_e_i = g.gather_rows(w_e, &we_rows); // head_dim x head_dim
             let kw = g.matmul(k_i, w_e_i); // E x head_dim
             let raw = g.row_dot(kw, q_i); // E x 1, K W_e Qᵀ per edge

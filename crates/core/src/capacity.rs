@@ -276,10 +276,7 @@ mod tests {
             opt.step(&mut ps);
         }
         let first = first.unwrap();
-        assert!(
-            last < first * 0.85,
-            "O1 did not improve: {first} -> {last}"
-        );
+        assert!(last < first * 0.85, "O1 did not improve: {first} -> {last}");
     }
 
     #[test]

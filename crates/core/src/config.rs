@@ -1,6 +1,7 @@
 //! Model configuration (hyper-parameters of §IV-A3) and ablation variants.
 
 use serde::{Deserialize, Serialize};
+use siterec_tensor::ParallelConfig;
 
 /// Which variant of the model to build (§IV-A5, Figs. 10–11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -32,7 +33,10 @@ impl Variant {
 
     /// True when the courier-capacity model (Module 2) is active.
     pub fn uses_capacity(self) -> bool {
-        matches!(self, Variant::Full | Variant::WithoutNodeAttention | Variant::WithoutTimeAttention)
+        matches!(
+            self,
+            Variant::Full | Variant::WithoutNodeAttention | Variant::WithoutTimeAttention
+        )
     }
 }
 
@@ -71,6 +75,10 @@ pub struct SiteRecConfig {
     pub variant: Variant,
     /// Gradient-clipping max norm (0 disables).
     pub grad_clip: f32,
+    /// Kernel-level parallelism. Installed process-wide when the model is
+    /// built; results are bitwise identical at any thread count.
+    #[serde(default)]
+    pub parallel: ParallelConfig,
 }
 
 impl Default for SiteRecConfig {
@@ -88,6 +96,7 @@ impl Default for SiteRecConfig {
             seed: 17,
             variant: Variant::Full,
             grad_clip: 5.0,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -110,13 +119,13 @@ impl SiteRecConfig {
 
     /// Validate divisibility and ranges.
     pub fn validate(&self) -> Result<(), String> {
-        if self.d2 % self.node_heads != 0 {
+        if !self.d2.is_multiple_of(self.node_heads) {
             return Err(format!(
                 "d2 = {} must be divisible by node_heads = {}",
                 self.d2, self.node_heads
             ));
         }
-        if 2 * self.d2 % self.time_heads != 0 {
+        if !(2 * self.d2).is_multiple_of(self.time_heads) {
             return Err("2*d2 must be divisible by time_heads".into());
         }
         if self.layers == 0 {

@@ -47,3 +47,4 @@ pub use capacity::{CapacityModel, CapacityOutput};
 pub use config::{SiteRecConfig, Variant};
 pub use model::{O2SiteRec, TrainEpoch};
 pub use recommend::HeteroModel;
+pub use siterec_tensor::ParallelConfig;

@@ -42,6 +42,10 @@ impl O2SiteRec {
     /// selects both the graph construction and the aggregation functions.
     pub fn new(data: &O2oDataset, task: &SiteRecTask, cfg: SiteRecConfig) -> O2SiteRec {
         cfg.validate().expect("invalid SiteRecConfig");
+        // Install the kernel thread count once; every tensor op in training
+        // and inference (and in all baselines sharing the process) picks it
+        // up without per-call plumbing. Results are thread-count invariant.
+        cfg.parallel.install();
         let hetero = match cfg.variant {
             Variant::Full | Variant::WithoutNodeAttention | Variant::WithoutTimeAttention => {
                 task.hetero.clone()
@@ -67,8 +71,8 @@ impl O2SiteRec {
         let mut train_a = Vec::with_capacity(task.split.train.len());
         let mut targets = Vec::with_capacity(task.split.train.len());
         for i in &task.split.train {
-            let s = hetero.s_of_region[i.region]
-                .expect("train interaction region must host stores");
+            let s =
+                hetero.s_of_region[i.region].expect("train interaction region must host stores");
             train_s.push(s);
             train_a.push(i.ty);
             targets.push(i.norm);
@@ -202,7 +206,9 @@ impl O2SiteRec {
             let o = c.forward(&mut g, &binds);
             o.period_embeddings
         });
-        let pred = self.model.forward(&mut g, &binds, caps.as_deref(), &ss, &aa);
+        let pred = self
+            .model
+            .forward(&mut g, &binds, caps.as_deref(), &ss, &aa);
         let values = g.value(pred);
         for (i, slot) in slot_of.iter().enumerate() {
             if let Some(j) = *slot {
@@ -279,8 +285,7 @@ mod tests {
         let (d, t) = task();
         let mut m = O2SiteRec::new(&d, &t, tiny_cfg(Variant::Full));
         m.train();
-        let pairs: Vec<(usize, usize)> =
-            t.split.test.iter().map(|i| (i.region, i.ty)).collect();
+        let pairs: Vec<(usize, usize)> = t.split.test.iter().map(|i| (i.region, i.ty)).collect();
         let preds = m.predict(&pairs);
         assert_eq!(preds.len(), pairs.len());
         for &p in &preds {
@@ -324,7 +329,13 @@ mod tests {
         let mut b = O2SiteRec::new(&d, &t, tiny_cfg(Variant::Full));
         a.train();
         b.train();
-        let pairs: Vec<(usize, usize)> = t.split.test.iter().take(5).map(|i| (i.region, i.ty)).collect();
+        let pairs: Vec<(usize, usize)> = t
+            .split
+            .test
+            .iter()
+            .take(5)
+            .map(|i| (i.region, i.ty))
+            .collect();
         assert_eq!(a.predict(&pairs), b.predict(&pairs));
     }
 }

@@ -413,9 +413,9 @@ impl HeteroModel {
             let alpha = g.softmax_rows(score_mat);
             // out = Σ_t α_t K_t.
             let mut acc: Option<Var> = None;
-            for t in 0..j {
+            for (t, &k_t) in k_i.iter().enumerate() {
                 let a_t = g.slice_cols(alpha, t, 1);
-                let w = g.mul_col_broadcast(k_i[t], a_t);
+                let w = g.mul_col_broadcast(k_t, a_t);
                 acc = Some(match acc {
                     Some(prev) => g.add(prev, w),
                     None => w,

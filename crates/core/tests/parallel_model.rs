@@ -1,0 +1,29 @@
+//! Full-model thread-count invariance: training + inference of the complete
+//! O²-SiteRec model must produce bit-identical predictions at any kernel
+//! thread count. The per-kernel bitwise tests live in
+//! `crates/tensor/tests/parallel_equivalence.rs`; this one covers their
+//! composition — both modules, dropout, gradient clipping, Adam — end to end.
+
+use siterec_core::{O2SiteRec, ParallelConfig, SiteRecConfig};
+use siterec_graphs::SiteRecTask;
+use siterec_sim::{O2oDataset, SimConfig};
+
+#[test]
+fn trained_model_predictions_invariant_to_kernel_threads() {
+    let data = O2oDataset::generate(SimConfig::tiny(3));
+    let task = SiteRecTask::build(&data, 0.8, 1);
+    let pairs: Vec<(usize, usize)> = task.split.test.iter().map(|i| (i.region, i.ty)).collect();
+    let run = |threads: usize| -> Vec<u32> {
+        let cfg = SiteRecConfig {
+            epochs: 4,
+            parallel: ParallelConfig::with_threads(threads),
+            ..SiteRecConfig::fast()
+        };
+        let mut m = O2SiteRec::new(&data, &task, cfg);
+        m.train();
+        m.predict(&pairs).iter().map(|x| x.to_bits()).collect()
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial, parallel, "model output depends on thread count");
+}

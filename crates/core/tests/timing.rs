@@ -34,15 +34,28 @@ fn time_full_model_epoch() {
         task.split.test.len(),
         t1.elapsed()
     );
-    let mut model_cfg = SiteRecConfig::default();
-    model_cfg.epochs = 3;
+    let model_cfg = SiteRecConfig {
+        epochs: 3,
+        ..Default::default()
+    };
     let t2 = Instant::now();
     let mut m = O2SiteRec::new(&data, &task, model_cfg);
-    println!("model: {} weights, built in {:?}", m.num_weights(), t2.elapsed());
+    println!(
+        "model: {} weights, built in {:?}",
+        m.num_weights(),
+        t2.elapsed()
+    );
     let t3 = Instant::now();
     m.train();
-    println!("3 epochs in {:?} ({:?}/epoch)", t3.elapsed(), t3.elapsed() / 3);
+    println!(
+        "3 epochs in {:?} ({:?}/epoch)",
+        t3.elapsed(),
+        t3.elapsed() / 3
+    );
     for e in m.history() {
-        println!("epoch {} loss {:.5} o2 {:.5} o1 {:.5}", e.epoch, e.loss, e.o2, e.o1);
+        println!(
+            "epoch {} loss {:.5} o2 {:.5} o1 {:.5}",
+            e.epoch, e.loss, e.o2, e.o1
+        );
     }
 }

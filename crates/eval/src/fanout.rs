@@ -1,0 +1,164 @@
+//! Harness-tier parallelism: run independent evaluation jobs (model × seed
+//! rounds, baseline grids, hyper-parameter sweep points) across scoped
+//! threads.
+//!
+//! Two properties make the fan-out safe to use for the paper's tables:
+//!
+//! * **Deterministic ordering** — [`run_jobs`] returns results in input
+//!   order no matter which worker finished first, so a parallel run renders
+//!   the exact table a serial run would.
+//! * **Deterministic seeding** — jobs must derive all randomness from their
+//!   input (e.g. a per-round seed from [`seed_stream`]), never from shared
+//!   mutable state, so each job's result is independent of scheduling.
+//!
+//! The thread count comes from the `SITEREC_THREADS` environment variable
+//! ([`harness_threads`]), defaulting to 1 (serial). This knob is independent
+//! of the kernel-level knob (`siterec_tensor::ParallelConfig`): the two
+//! compose, but on small machines prefer one tier at a time — fanned-out
+//! jobs each training a model already keep every core busy.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Run `f` over every input, using up to `threads` worker threads, and
+/// return the results **in input order**.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven job costs —
+/// a 40-epoch model next to a popularity baseline — don't leave workers
+/// idle. With `threads <= 1` or a single input the call degrades to a plain
+/// serial loop with zero overhead.
+pub fn run_jobs<I, R, F>(inputs: &[I], threads: usize, f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(&I) -> R + Sync,
+{
+    let threads = threads.clamp(1, inputs.len().max(1));
+    if threads == 1 {
+        return inputs.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let r = f(&inputs[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut indexed: Vec<(usize, R)> = rx.into_iter().collect();
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Derive `n` decorrelated seeds from a base seed (SplitMix64 stream).
+///
+/// Adjacent integers make poor seeds for some generators; feeding
+/// `base + round` through SplitMix64's finalizer gives each job a
+/// well-mixed, reproducible seed that does not depend on how many other
+/// jobs run or in which order.
+pub fn seed_stream(base: u64, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| {
+            let mut z = base
+                .wrapping_add(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+/// Harness-tier thread count: `SITEREC_THREADS` if set and valid, else 1.
+pub fn harness_threads() -> usize {
+    threads_from(std::env::var("SITEREC_THREADS").ok())
+}
+
+fn threads_from(v: Option<String>) -> usize {
+    v.and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_keep_input_order() {
+        // Make early jobs the slowest so a naive collect would reverse them.
+        let inputs: Vec<u64> = (0..16).collect();
+        let out = run_jobs(&inputs, 4, |&x| {
+            std::thread::sleep(std::time::Duration::from_millis(16 - x));
+            x * 10
+        });
+        assert_eq!(out, (0..16).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let inputs: Vec<u64> = (0..40).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(7);
+        let serial = run_jobs(&inputs, 1, f);
+        let parallel = run_jobs(&inputs, 8, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let inputs: Vec<usize> = (0..33).collect();
+        let out = run_jobs(&inputs, 5, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 33);
+        assert_eq!(out, inputs);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_jobs(&empty, 8, |&x| x).is_empty());
+        assert_eq!(run_jobs(&[5u32], 8, |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn seed_stream_is_deterministic_and_mixed() {
+        let a = seed_stream(17, 8);
+        let b = seed_stream(17, 8);
+        assert_eq!(a, b);
+        // Prefix property: a longer stream starts with the shorter one.
+        assert_eq!(&seed_stream(17, 16)[..8], &a[..]);
+        // All distinct, and not trivially sequential.
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+        assert!(a.windows(2).all(|w| w[1] != w[0] + 1));
+        // Different bases give different streams.
+        assert_ne!(seed_stream(18, 8), a);
+    }
+
+    #[test]
+    fn thread_env_parsing() {
+        assert_eq!(threads_from(None), 1);
+        assert_eq!(threads_from(Some("4".into())), 4);
+        assert_eq!(threads_from(Some(" 2 ".into())), 2);
+        assert_eq!(threads_from(Some("0".into())), 1);
+        assert_eq!(threads_from(Some("lots".into())), 1);
+    }
+}

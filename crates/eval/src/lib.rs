@@ -6,14 +6,21 @@
 //! analysis and significance tests (Pearson correlation, Welch's t-test with
 //! an exact Student-t CDF), and the harness that turns any model's
 //! predictions on the held-out interactions into the paper's table rows.
+//!
+//! The [`fanout`] module adds harness-tier parallelism: independent
+//! (model × seed) evaluation jobs run across scoped threads with
+//! deterministic, input-ordered results, so a parallel run produces the
+//! same tables as a serial one.
 
 #![warn(missing_docs)]
 
+pub mod fanout;
 mod harness;
 mod metrics;
 mod report;
 pub mod stats;
 
+pub use fanout::{harness_threads, run_jobs, seed_stream};
 pub use harness::{
     evaluate, evaluate_subset, evaluate_with_types, top_n_for, EvalResult, TypeResult,
     MIN_CANDIDATES,

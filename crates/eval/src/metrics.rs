@@ -81,7 +81,11 @@ pub fn precision_at_k(cands: &[Candidate], k: usize, n: usize) -> f64 {
     let k_eff = k.min(cands.len());
     let top = true_top_n(cands, n);
     let ranking = predicted_ranking(cands);
-    let hits = ranking.iter().take(k_eff).filter(|r| top.contains(r)).count();
+    let hits = ranking
+        .iter()
+        .take(k_eff)
+        .filter(|r| top.contains(r))
+        .count();
     hits as f64 / k as f64
 }
 
@@ -166,7 +170,10 @@ mod tests {
         assert!(a > b, "ndcg {a} should exceed {b}");
         // precision@3 counts hits only — but note the true top-3 includes
         // regions 0,1,2; both rankings place exactly one of them in the top 3.
-        assert_eq!(precision_at_k(&top_first, 3, n), precision_at_k(&top_last, 3, n));
+        assert_eq!(
+            precision_at_k(&top_first, 3, n),
+            precision_at_k(&top_last, 3, n)
+        );
     }
 
     #[test]

@@ -125,9 +125,7 @@ impl Complementarity {
             .map(|row| row.iter().map(|&c| 2.0 * c as f64 / denom).collect())
             .collect();
         let mean_count = (0..n_types)
-            .map(|a| {
-                stores_rt.iter().map(|r| r[a] as f64).sum::<f64>() / n_regions.max(1) as f64
-            })
+            .map(|a| stores_rt.iter().map(|r| r[a] as f64).sum::<f64>() / n_regions.max(1) as f64)
             .collect();
         Complementarity {
             rho,
@@ -141,6 +139,7 @@ impl Complementarity {
     /// `log 0` is undefined).
     pub fn score(&self, stores_in_region: &[u32], a: usize) -> f64 {
         let mut f = 0.0;
+        #[allow(clippy::needless_range_loop)] // a_star indexes three parallel tables
         for a_star in 0..self.n_types {
             if a_star == a {
                 continue;
@@ -169,7 +168,7 @@ pub fn adaption_features(
 ) -> Vec<Vec<f32>> {
     let n = data.num_regions();
     let n_types = data.num_types();
-    let keep = |i: usize| mask.map_or(true, |m| m[i]);
+    let keep = |i: usize| mask.is_none_or(|m| m[i]);
     // Mean delivery time per region (over orders departing the region).
     let mut dt_sum = vec![0.0f64; n];
     let mut dt_cnt = vec![0u64; n];
@@ -190,10 +189,13 @@ pub fn adaption_features(
     for r in 0..n {
         if dt[r].is_nan() {
             let nb = data.city.grid.neighbors_within(RegionId(r), NEARBY_M * 2.0);
-            let vals: Vec<f32> = nb.iter().filter_map(|x| {
-                let v = dt[x.0];
-                (!v.is_nan()).then_some(v)
-            }).collect();
+            let vals: Vec<f32> = nb
+                .iter()
+                .filter_map(|x| {
+                    let v = dt[x.0];
+                    (!v.is_nan()).then_some(v)
+                })
+                .collect();
             dt[r] = if vals.is_empty() {
                 0.0
             } else {
@@ -285,7 +287,9 @@ mod tests {
             }
         }
         // Some column must reach 1 exactly (the max element).
-        assert!(f.iter().any(|row| row.iter().any(|&x| (x - 1.0).abs() < 1e-6)));
+        assert!(f
+            .iter()
+            .any(|row| row.iter().any(|&x| (x - 1.0).abs() < 1e-6)));
     }
 
     #[test]
@@ -315,11 +319,7 @@ mod tests {
         // Types 0 and 1 always co-appear; type 2 never does. A region rich in
         // type 1 (above average) should score higher for type 0 than a region
         // poor in type 1. log(rho) < 0 so "rich" means less negative.
-        let stores_rt = vec![
-            vec![1u32, 3, 0],
-            vec![1, 0, 0],
-            vec![1, 2, 0],
-        ];
+        let stores_rt = vec![vec![1u32, 3, 0], vec![1, 0, 0], vec![1, 2, 0]];
         let comp = Complementarity::new(&stores_rt, 3);
         let rich = comp.score(&[1, 3, 0], 0);
         let poor = comp.score(&[1, 1, 0], 0);

@@ -64,7 +64,9 @@ mod tests {
         let g = GeoGraph::build(&grid(), 800.0);
         for &(a, b, d) in &g.edges {
             assert!(
-                g.edges.iter().any(|&(x, y, dd)| x == b && y == a && (dd - d).abs() < 1e-6),
+                g.edges
+                    .iter()
+                    .any(|&(x, y, dd)| x == b && y == a && (dd - d).abs() < 1e-6),
                 "missing reverse of ({a},{b})"
             );
         }

@@ -169,8 +169,7 @@ impl HeteroGraph {
 
         // --- per-period transaction aggregates (train orders only) ----------
         // region-pair transactions, per period, and per-store-region stats.
-        let mut pair_tx: Vec<HashMap<(usize, usize), u32>> =
-            vec![HashMap::new(); Period::COUNT];
+        let mut pair_tx: Vec<HashMap<(usize, usize), u32>> = vec![HashMap::new(); Period::COUNT];
         let mut ua_tx: Vec<HashMap<(usize, usize), u32>> = vec![HashMap::new(); Period::COUNT];
         let mut s_dist_sum = vec![[0.0f64; Period::COUNT]; n_regions];
         let mut s_dist_max = vec![[0.0f64; Period::COUNT]; n_regions];
@@ -212,8 +211,8 @@ impl HeteroGraph {
         // --- S-U edges (the paper's scope rule) ------------------------------
         let max_dist = data.config.max_order_distance_m;
         let mut su_edges: Vec<Vec<SuEdge>> = vec![Vec::new(); Period::COUNT];
-        for pi in 0..Period::COUNT {
-            let max_tx = pair_tx[pi].values().copied().max().unwrap_or(1).max(1) as f32;
+        for (pi, tx_map) in pair_tx.iter().enumerate() {
+            let max_tx = tx_map.values().copied().max().unwrap_or(1).max(1) as f32;
             for (si, &sr) in store_regions.iter().enumerate() {
                 if s_orders[sr][pi] == 0 {
                     continue;
@@ -223,15 +222,12 @@ impl HeteroGraph {
                 let total = s_orders[sr][pi] as f64;
                 // Candidates: customer-regions within the farthest observed
                 // delivery distance of this store-region.
-                let mut cand = data
-                    .city
-                    .grid
-                    .neighbors_within(RegionId(sr), farthest);
+                let mut cand = data.city.grid.neighbors_within(RegionId(sr), farthest);
                 cand.push(RegionId(sr));
                 for c in cand {
                     let Some(u) = u_of_region[c.0] else { continue };
                     let d = data.city.grid.distance_m(RegionId(sr), c).max(150.0);
-                    let tx = pair_tx[pi].get(&(sr, c.0)).copied().unwrap_or(0);
+                    let tx = tx_map.get(&(sr, c.0)).copied().unwrap_or(0);
                     let keep = if d < avg {
                         true
                     } else {
@@ -292,8 +288,7 @@ impl HeteroGraph {
     pub fn with_capacity_blind_su(&self, data: &O2oDataset, split: &Split) -> HeteroGraph {
         let mut g = self.clone();
         let mask = split.train_order_mask(data);
-        let mut pair_tx: Vec<HashMap<(usize, usize), u32>> =
-            vec![HashMap::new(); Period::COUNT];
+        let mut pair_tx: Vec<HashMap<(usize, usize), u32>> = vec![HashMap::new(); Period::COUNT];
         for (o, &m) in data.orders.iter().zip(&mask) {
             if m {
                 *pair_tx[o.period().index()]
@@ -303,19 +298,21 @@ impl HeteroGraph {
         }
         let max_dist = data.config.max_order_distance_m;
         let scope = data.config.base_scope_m;
-        for pi in 0..Period::COUNT {
-            let max_tx = pair_tx[pi].values().copied().max().unwrap_or(1).max(1) as f32;
+        for (pi, tx_map) in pair_tx.iter().enumerate() {
+            let max_tx = tx_map.values().copied().max().unwrap_or(1).max(1) as f32;
             let mut edges = Vec::new();
             for (si, &sr) in self.store_regions.iter().enumerate() {
                 let mut cand = data.city.grid.neighbors_within(RegionId(sr), scope);
                 cand.push(RegionId(sr));
                 for c in cand {
-                    let Some(u) = self.u_of_region[c.0] else { continue };
+                    let Some(u) = self.u_of_region[c.0] else {
+                        continue;
+                    };
                     let d = data.city.grid.distance_m(RegionId(sr), c).max(150.0);
                     if d > scope * 0.66 {
                         continue; // plain distance rule, no capacity signal
                     }
-                    let tx = pair_tx[pi].get(&(sr, c.0)).copied().unwrap_or(0);
+                    let tx = tx_map.get(&(sr, c.0)).copied().unwrap_or(0);
                     edges.push(SuEdge {
                         s: si,
                         u,

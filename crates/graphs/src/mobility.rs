@@ -84,10 +84,7 @@ mod tests {
     fn every_period_has_edges() {
         let (_, g) = graph();
         for p in Period::ALL {
-            assert!(
-                !g.period_edges(p).is_empty(),
-                "no mobility edges in {p:?}"
-            );
+            assert!(!g.period_edges(p).is_empty(), "no mobility edges in {p:?}");
         }
     }
 

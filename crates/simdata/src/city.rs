@@ -115,36 +115,40 @@ impl City {
 
         let commercial = ((-2.2 * c).exp() + 0.08) * jitter(rng, 0.6);
         let office_pop = ((-3.0 * c).exp() + 0.04) * jitter(rng, 0.5);
-        let mid = ((c - 0.45) / 0.28) as f64;
+        let mid = (c - 0.45) / 0.28;
         let residential_pop = ((-mid * mid).exp() * 0.9 + 0.12) * jitter(rng, 0.5);
 
         // POI intensities per category as mixtures of the three densities.
         let weights: [(f64, f64, f64, f64); NUM_POI_TYPES] = [
             // (base, commercial, office, residential) weights per category
-            (0.5, 9.0, 2.0, 2.5), // restaurant
+            (0.5, 9.0, 2.0, 2.5),  // restaurant
             (0.2, 2.0, 10.0, 0.3), // office
-            (0.8, 0.5, 0.2, 9.0), // residence
-            (0.2, 0.3, 0.4, 3.0), // school
+            (0.8, 0.5, 0.2, 9.0),  // residence
+            (0.2, 0.3, 0.4, 3.0),  // school
             (0.05, 5.0, 1.0, 0.8), // mall
             (0.05, 0.8, 0.8, 0.8), // hospital
-            (0.2, 0.3, 0.2, 1.2), // park
+            (0.2, 0.3, 0.2, 1.2),  // park
             (0.02, 3.0, 2.5, 0.6), // subway
             (0.05, 3.0, 1.6, 0.2), // hotel
-            (0.1, 2.5, 3.0, 0.6), // bank
-            (0.1, 1.5, 1.0, 1.5), // gym
-            (0.3, 1.2, 0.3, 2.5), // market
+            (0.1, 2.5, 3.0, 0.6),  // bank
+            (0.1, 1.5, 1.0, 1.5),  // gym
+            (0.3, 1.2, 0.3, 2.5),  // market
         ];
         let mut pois = Vec::with_capacity(NUM_POI_TYPES);
         for (base, wc, wo, wr) in weights {
             let lambda = base + wc * commercial + wo * office_pop + wr * residential_pop;
-            let n = Poisson::new(lambda.max(1e-6)).expect("positive lambda").sample(rng);
+            let n = Poisson::new(lambda.max(1e-6))
+                .expect("positive lambda")
+                .sample(rng);
             pois.push(n as u32);
         }
 
         let road_density = 2.0 + 10.0 * commercial + 5.0 * residential_pop;
-        let intersections =
-            Poisson::new(road_density).expect("positive").sample(rng) as u32;
-        let roads = intersections + Poisson::new(road_density * 1.4).expect("positive").sample(rng) as u32;
+        let intersections = Poisson::new(road_density).expect("positive").sample(rng) as u32;
+        let roads = intersections
+            + Poisson::new(road_density * 1.4)
+                .expect("positive")
+                .sample(rng) as u32;
 
         let class = if c < 0.33 {
             RegionClass::Downtown
@@ -230,7 +234,11 @@ mod tests {
     #[test]
     fn every_class_is_populated() {
         let city = city();
-        for class in [RegionClass::Downtown, RegionClass::Midtown, RegionClass::Suburb] {
+        for class in [
+            RegionClass::Downtown,
+            RegionClass::Midtown,
+            RegionClass::Suburb,
+        ] {
             assert!(
                 !city.regions_of_class(class).is_empty(),
                 "no {class:?} regions"

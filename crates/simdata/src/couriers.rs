@@ -93,13 +93,11 @@ impl CourierSupply {
     pub fn allocate(config: &SimConfig, city: &City) -> CourierSupply {
         let n = city.num_regions();
         let mut expected = vec![[0.0f64; Period::COUNT]; n];
-        for r in 0..n {
-            let profile = &city.regions[r];
+        for (exp, profile) in expected.iter_mut().zip(&city.regions) {
             for p in Period::ALL {
                 // Expected orders per hour in this region and period.
-                expected[r][p.index()] = profile.population(p)
-                    * period_demand_factor(p)
-                    * config.demand_scale;
+                exp[p.index()] =
+                    profile.population(p) * period_demand_factor(p) * config.demand_scale;
             }
         }
         let mut couriers = vec![[0.0f64; Period::COUNT]; n];

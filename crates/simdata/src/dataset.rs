@@ -199,7 +199,7 @@ impl O2oDataset {
             .enumerate()
             .map(|(i, row)| (StoreTypeId(i), row[p.index()]))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v.truncate(k);
         v
     }

@@ -143,7 +143,10 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         // LogNormal(0, sigma) has mean exp(sigma^2/2) ≈ 1.016 for sigma 0.18.
-        assert!((mean / expect - 1.0).abs() < 0.1, "mean {mean} expect {expect}");
+        assert!(
+            (mean / expect - 1.0).abs() < 0.1,
+            "mean {mean} expect {expect}"
+        );
     }
 
     #[test]

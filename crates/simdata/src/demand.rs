@@ -77,9 +77,9 @@ pub fn generate_orders(
         .collect();
     let n = city.num_regions();
     let mut scope = vec![[0.0f64; Period::COUNT]; n];
-    for r in 0..n {
+    for (r, row) in scope.iter_mut().enumerate() {
         for p in Period::ALL {
-            scope[r][p.index()] = model.scope_at(supply, RegionId(r), p);
+            row[p.index()] = model.scope_at(supply, RegionId(r), p);
         }
     }
     let period_hours: Vec<Vec<u32>> = Period::ALL
@@ -104,7 +104,9 @@ pub fn generate_orders(
                 if lambda <= 0.0 {
                     continue;
                 }
-                let count = Poisson::new(lambda).expect("positive lambda").sample(&mut rng) as usize;
+                let count = Poisson::new(lambda)
+                    .expect("positive lambda")
+                    .sample(&mut rng) as usize;
                 for _ in 0..count {
                     let ty = sample_weighted(&mut rng, &type_weights[pi]);
                     let candidates = &index.by_region_type[u][ty];
@@ -153,7 +155,7 @@ pub fn generate_orders(
                     let created = SimMinute::from_day_time(day, hour, minute);
                     let ratio = supply.ratio_at(store.region, p);
                     let total_min = model.sample_minutes(d, ratio, &mut rng);
-                    let accepted = SimMinute(created.0 + 1 + rng.gen_range(0..3));
+                    let accepted = SimMinute(created.0 + 1 + rng.gen_range(0..3u64));
                     let pickup = SimMinute(created.0 + (total_min * 0.45).round() as u64);
                     let delivered = SimMinute(created.0 + total_min.round().max(3.0) as u64);
                     orders.push(Order {
@@ -181,7 +183,14 @@ mod tests {
     use super::*;
     use crate::stores::{build_store_types, place_stores};
 
-    fn small_world() -> (SimConfig, City, Vec<StoreType>, Vec<Store>, CourierSupply, DeliveryModel) {
+    fn small_world() -> (
+        SimConfig,
+        City,
+        Vec<StoreType>,
+        Vec<Store>,
+        CourierSupply,
+        DeliveryModel,
+    ) {
         let c = SimConfig::tiny(21);
         let city = City::generate(&c);
         let types = build_store_types(&c);
@@ -244,8 +253,7 @@ mod tests {
     fn customers_order_mostly_nearby() {
         let (c, city, types, stores, supply, model) = small_world();
         let orders = generate_orders(&c, &city, &types, &stores, &supply, &model);
-        let mean_d: f64 =
-            orders.iter().map(|o| o.distance_m).sum::<f64>() / orders.len() as f64;
+        let mean_d: f64 = orders.iter().map(|o| o.distance_m).sum::<f64>() / orders.len() as f64;
         assert!(
             mean_d < c.max_order_distance_m * 0.6,
             "distance decay not effective: mean {mean_d}"

@@ -15,7 +15,7 @@
 //!   [`delivery`];
 //! * demand decays with expected delivery time at fixed distance (Fig. 4) and
 //!   customer type preferences vary by period (Fig. 5) — see [`demand`] and
-//!   [`stores`];
+//!   `stores`;
 //! * order volume correlates with nearby customers' preferences (Table II).
 //!
 //! Everything is a deterministic function of a [`SimConfig`]; two presets

@@ -219,7 +219,12 @@ mod tests {
                 .expect("steamed bun in catalog"),
         );
         let morning = type_period_weight(&types, bun, Period::Morning);
-        for p in [Period::NoonRush, Period::Afternoon, Period::EveningRush, Period::Night] {
+        for p in [
+            Period::NoonRush,
+            Period::Afternoon,
+            Period::EveningRush,
+            Period::Night,
+        ] {
             assert!(morning > type_period_weight(&types, bun, p));
         }
     }

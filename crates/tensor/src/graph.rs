@@ -11,6 +11,7 @@
 //! and *segment* operations (per-neighbourhood softmax / sums) that implement
 //! message passing without materializing adjacency matrices.
 
+use crate::parallel;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -267,15 +268,26 @@ impl Graph {
     pub fn segment_sum(&mut self, a: Var, segments: &[usize], n_segments: usize) -> Var {
         let av = self.value(a);
         assert_eq!(av.rows(), segments.len(), "segment_sum length mismatch");
-        let mut out = Tensor::zeros(n_segments, av.cols());
-        for (i, &s) in segments.iter().enumerate() {
+        for &s in segments {
             assert!(s < n_segments, "segment id {s} >= {n_segments}");
-            let src = av.row_slice(i);
-            let dst = out.row_slice_mut(s);
-            for (d, &x) in dst.iter_mut().zip(src) {
-                *d += x;
-            }
         }
+        // CSR inversion: each output row sums its inputs in ascending input
+        // order — the exact per-element order of the serial scatter loop —
+        // so the row-parallel split is bitwise deterministic.
+        let cols = av.cols();
+        let (offsets, order) = parallel::csr_invert(segments, n_segments);
+        let per_row = (segments.len() * cols / n_segments.max(1)).max(1);
+        let mut out = Tensor::zeros(n_segments, cols);
+        parallel::for_each_row_block_mut(out.data_mut(), cols, per_row, |s0, block| {
+            for (bs, dst) in block.chunks_mut(cols).enumerate() {
+                let s = s0 + bs;
+                for &i in &order[offsets[s]..offsets[s + 1]] {
+                    for (d, &x) in dst.iter_mut().zip(av.row_slice(i)) {
+                        *d += x;
+                    }
+                }
+            }
+        });
         let ng = self.needs(a);
         self.push(out, Op::SegmentSum(a, segments.to_vec(), n_segments), ng)
     }
@@ -300,20 +312,36 @@ impl Graph {
         assert_eq!(av.cols(), 1, "segment_softmax expects an E x 1 column");
         assert_eq!(av.rows(), scores.len(), "segment_softmax length mismatch");
         let n_seg = scores.iter().copied().max().map_or(0, |m| m + 1);
-        let mut seg_max = vec![f32::NEG_INFINITY; n_seg];
-        for (i, &s) in scores.iter().enumerate() {
-            seg_max[s] = seg_max[s].max(av.get(i, 0));
-        }
-        let mut seg_sum = vec![0.0f32; n_seg];
+        // Stage 1, parallel over segments: per-segment max and exp-sum, each
+        // accumulated over the segment's inputs in ascending input order
+        // (CSR) — the serial loop's per-element order.
+        let (offsets, order) = parallel::csr_invert(scores, n_seg);
+        let per_seg = (2 * scores.len() / n_seg.max(1)).max(1) * 8;
+        let mut stats = vec![[f32::NEG_INFINITY, 0.0f32]; n_seg];
+        parallel::for_each_row_block_mut(&mut stats, 1, per_seg, |s0, block| {
+            for (bs, st) in block.iter_mut().enumerate() {
+                let members = &order[offsets[s0 + bs]..offsets[s0 + bs + 1]];
+                let mut m = f32::NEG_INFINITY;
+                for &i in members {
+                    m = m.max(av.get(i, 0));
+                }
+                let mut sum = 0.0;
+                for &i in members {
+                    sum += (av.get(i, 0) - m).exp();
+                }
+                *st = [m, sum];
+            }
+        });
+        // Stage 2, parallel over rows: normalize. Recomputing the exp gives
+        // the same bits as the serial two-pass version.
         let mut out = Tensor::zeros(av.rows(), 1);
-        for (i, &s) in scores.iter().enumerate() {
-            let e = (av.get(i, 0) - seg_max[s]).exp();
-            out.set(i, 0, e);
-            seg_sum[s] += e;
-        }
-        for (i, &s) in scores.iter().enumerate() {
-            out.set(i, 0, out.get(i, 0) / seg_sum[s]);
-        }
+        parallel::for_each_row_block_mut(out.data_mut(), 1, 16, |i0, block| {
+            for (bi, o) in block.iter_mut().enumerate() {
+                let i = i0 + bi;
+                let [m, sum] = stats[scores[i]];
+                *o = (av.get(i, 0) - m).exp() / sum;
+            }
+        });
         let ng = self.needs(a);
         self.push(out, Op::SegmentSoftmax(a, scores.to_vec()), ng)
     }
@@ -324,13 +352,16 @@ impl Graph {
         let (av, wv) = (self.value(a), self.value(w));
         assert_eq!(wv.cols(), 1, "mul_col_broadcast weight must be E x 1");
         assert_eq!(av.rows(), wv.rows(), "mul_col_broadcast row mismatch");
+        let cols = av.cols();
         let mut out = av.clone();
-        for i in 0..out.rows() {
-            let wi = wv.get(i, 0);
-            for x in out.row_slice_mut(i) {
-                *x *= wi;
+        parallel::for_each_row_block_mut(out.data_mut(), cols, cols, |i0, block| {
+            for (bi, row) in block.chunks_mut(cols).enumerate() {
+                let wi = wv.get(i0 + bi, 0);
+                for x in row {
+                    *x *= wi;
+                }
             }
-        }
+        });
         let ng = self.needs(a) || self.needs(w);
         self.push(out, Op::MulColBroadcast(a, w), ng)
     }
@@ -369,16 +400,19 @@ impl Graph {
     pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
         let (av, bv) = (self.value(a), self.value(b));
         assert_eq!(av.shape(), bv.shape(), "row_dot shape mismatch");
+        let cols = av.cols();
         let mut out = Tensor::zeros(av.rows(), 1);
-        for i in 0..av.rows() {
-            let s: f32 = av
-                .row_slice(i)
-                .iter()
-                .zip(bv.row_slice(i))
-                .map(|(&x, &y)| x * y)
-                .sum();
-            out.set(i, 0, s);
-        }
+        parallel::for_each_row_block_mut(out.data_mut(), 1, 2 * cols, |i0, block| {
+            for (bi, o) in block.iter_mut().enumerate() {
+                let i = i0 + bi;
+                *o = av
+                    .row_slice(i)
+                    .iter()
+                    .zip(bv.row_slice(i))
+                    .map(|(&x, &y)| x * y)
+                    .sum();
+            }
+        });
         let ng = self.needs(a) || self.needs(b);
         self.push(out, Op::RowDot(a, b), ng)
     }
@@ -386,19 +420,21 @@ impl Graph {
     /// Numerically-stable per-row softmax of an `n x m` matrix.
     pub fn softmax_rows(&mut self, a: Var) -> Var {
         let av = self.value(a);
+        let cols = av.cols();
         let mut out = av.clone();
-        for i in 0..out.rows() {
-            let row = out.row_slice_mut(i);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for x in row.iter_mut() {
-                *x = (*x - m).exp();
-                sum += *x;
+        parallel::for_each_row_block_mut(out.data_mut(), cols, 16 * cols, |_i0, block| {
+            for row in block.chunks_mut(cols) {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for x in row.iter_mut() {
+                    *x = (*x - m).exp();
+                    sum += *x;
+                }
+                for x in row.iter_mut() {
+                    *x /= sum;
+                }
             }
-            for x in row.iter_mut() {
-                *x /= sum;
-            }
-        }
+        });
         let ng = self.needs(a);
         self.push(out, Op::SoftmaxRows(a), ng)
     }
@@ -564,7 +600,10 @@ impl Graph {
                     self.accumulate(a, ga);
                 }
                 Op::LeakyRelu(a, alpha) => {
-                    let ga = g.zip(self.value(a), |gi, x| if x >= 0.0 { gi } else { alpha * gi });
+                    let ga = g.zip(
+                        self.value(a),
+                        |gi, x| if x >= 0.0 { gi } else { alpha * gi },
+                    );
                     self.accumulate(a, ga);
                 }
                 Op::Sigmoid(a) => {
@@ -592,59 +631,80 @@ impl Graph {
                     }
                 }
                 Op::GatherRows(a, idx) => {
+                    // Scatter-add inverted to CSR: each source row of `a`
+                    // accumulates its gathered copies in ascending gather
+                    // order (the serial loop's order), row-parallel.
                     let (rows, cols) = self.value(a).shape();
+                    let (offsets, order) = parallel::csr_invert(&idx, rows);
+                    let per_row = (idx.len() * cols / rows.max(1)).max(1);
                     let mut ga = Tensor::zeros(rows, cols);
-                    for (o, &src) in idx.iter().enumerate() {
-                        let dst = ga.row_slice_mut(src);
-                        for (d, &x) in dst.iter_mut().zip(g.row_slice(o)) {
-                            *d += x;
+                    parallel::for_each_row_block_mut(ga.data_mut(), cols, per_row, |r0, block| {
+                        for (br, dst) in block.chunks_mut(cols).enumerate() {
+                            let r = r0 + br;
+                            for &o in &order[offsets[r]..offsets[r + 1]] {
+                                for (d, &x) in dst.iter_mut().zip(g.row_slice(o)) {
+                                    *d += x;
+                                }
+                            }
                         }
-                    }
+                    });
                     self.accumulate(a, ga);
                 }
                 Op::SegmentSum(a, segs, n_seg) => {
                     debug_assert_eq!(g.rows(), n_seg);
-                    let cols = g.cols();
-                    let mut ga = Tensor::zeros(segs.len(), cols);
-                    for (r, &s) in segs.iter().enumerate() {
-                        ga.row_slice_mut(r).copy_from_slice(g.row_slice(s));
-                    }
+                    // The gradient is a pure row gather, which is already
+                    // row-parallel.
+                    let ga = g.gather_rows(&segs);
                     self.accumulate(a, ga);
                 }
                 Op::SegmentSoftmax(a, segs) => {
                     // dL/ds_i = y_i * (g_i - Σ_{j in seg(i)} y_j g_j)
                     let y = self.nodes[i].value.clone();
                     let n_seg = segs.iter().copied().max().map_or(0, |m| m + 1);
+                    let (offsets, order) = parallel::csr_invert(&segs, n_seg);
+                    let per_seg = (2 * segs.len() / n_seg.max(1)).max(1);
                     let mut seg_dot = vec![0.0f32; n_seg];
-                    for (r, &s) in segs.iter().enumerate() {
-                        seg_dot[s] += y.get(r, 0) * g.get(r, 0);
-                    }
+                    parallel::for_each_row_block_mut(&mut seg_dot, 1, per_seg, |s0, block| {
+                        for (bs, d) in block.iter_mut().enumerate() {
+                            for &r in &order[offsets[s0 + bs]..offsets[s0 + bs + 1]] {
+                                *d += y.get(r, 0) * g.get(r, 0);
+                            }
+                        }
+                    });
                     let mut ga = Tensor::zeros(y.rows(), 1);
-                    for (r, &s) in segs.iter().enumerate() {
-                        ga.set(r, 0, y.get(r, 0) * (g.get(r, 0) - seg_dot[s]));
-                    }
+                    parallel::for_each_row_block_mut(ga.data_mut(), 1, 4, |r0, block| {
+                        for (br, o) in block.iter_mut().enumerate() {
+                            let r = r0 + br;
+                            *o = y.get(r, 0) * (g.get(r, 0) - seg_dot[segs[r]]);
+                        }
+                    });
                     self.accumulate(a, ga);
                 }
                 Op::MulColBroadcast(a, w) => {
                     let wv = self.value(w).clone();
                     let av = self.value(a).clone();
+                    let cols = av.cols();
                     let mut ga = g.clone();
-                    for r in 0..ga.rows() {
-                        let wi = wv.get(r, 0);
-                        for x in ga.row_slice_mut(r) {
-                            *x *= wi;
+                    parallel::for_each_row_block_mut(ga.data_mut(), cols, cols, |r0, block| {
+                        for (br, row) in block.chunks_mut(cols).enumerate() {
+                            let wi = wv.get(r0 + br, 0);
+                            for x in row {
+                                *x *= wi;
+                            }
                         }
-                    }
+                    });
                     let mut gw = Tensor::zeros(wv.rows(), 1);
-                    for r in 0..av.rows() {
-                        let s: f32 = g
-                            .row_slice(r)
-                            .iter()
-                            .zip(av.row_slice(r))
-                            .map(|(&gi, &ai)| gi * ai)
-                            .sum();
-                        gw.set(r, 0, s);
-                    }
+                    parallel::for_each_row_block_mut(gw.data_mut(), 1, 2 * cols, |r0, block| {
+                        for (br, o) in block.iter_mut().enumerate() {
+                            let r = r0 + br;
+                            *o = g
+                                .row_slice(r)
+                                .iter()
+                                .zip(av.row_slice(r))
+                                .map(|(&gi, &ai)| gi * ai)
+                                .sum();
+                        }
+                    });
                     self.accumulate(a, ga);
                     self.accumulate(w, gw);
                 }
@@ -671,34 +731,42 @@ impl Graph {
                 Op::RowDot(a, b) => {
                     let av = self.value(a).clone();
                     let bv = self.value(b).clone();
+                    let cols = av.cols();
+                    let scale_rows = |t: &mut Tensor| {
+                        parallel::for_each_row_block_mut(t.data_mut(), cols, cols, |r0, block| {
+                            for (br, row) in block.chunks_mut(cols).enumerate() {
+                                let gi = g.get(r0 + br, 0);
+                                for x in row {
+                                    *x *= gi;
+                                }
+                            }
+                        });
+                    };
                     let mut ga = bv.clone();
                     let mut gb = av.clone();
-                    for r in 0..av.rows() {
-                        let gi = g.get(r, 0);
-                        for x in ga.row_slice_mut(r) {
-                            *x *= gi;
-                        }
-                        for x in gb.row_slice_mut(r) {
-                            *x *= gi;
-                        }
-                    }
+                    scale_rows(&mut ga);
+                    scale_rows(&mut gb);
                     self.accumulate(a, ga);
                     self.accumulate(b, gb);
                 }
                 Op::SoftmaxRows(a) => {
                     let y = self.nodes[i].value.clone();
-                    let mut ga = Tensor::zeros(y.rows(), y.cols());
-                    for r in 0..y.rows() {
-                        let dot: f32 = y
-                            .row_slice(r)
-                            .iter()
-                            .zip(g.row_slice(r))
-                            .map(|(&yi, &gi)| yi * gi)
-                            .sum();
-                        for c in 0..y.cols() {
-                            ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                    let cols = y.cols();
+                    let mut ga = Tensor::zeros(y.rows(), cols);
+                    parallel::for_each_row_block_mut(ga.data_mut(), cols, 4 * cols, |r0, block| {
+                        for (br, row) in block.chunks_mut(cols).enumerate() {
+                            let r = r0 + br;
+                            let dot: f32 = y
+                                .row_slice(r)
+                                .iter()
+                                .zip(g.row_slice(r))
+                                .map(|(&yi, &gi)| yi * gi)
+                                .sum();
+                            for (c, o) in row.iter_mut().enumerate() {
+                                *o = y.get(r, c) * (g.get(r, c) - dot);
+                            }
                         }
-                    }
+                    });
                     self.accumulate(a, ga);
                 }
                 Op::SliceCols(a, start, len) => {
@@ -735,9 +803,7 @@ impl Graph {
                 Op::MseLoss(a, target) => {
                     let n = target.len() as f32;
                     let gi = g.item();
-                    let ga = self
-                        .value(a)
-                        .zip(&target, |p, t| 2.0 * (p - t) * gi / n);
+                    let ga = self.value(a).zip(&target, |p, t| 2.0 * (p - t) * gi / n);
                     self.accumulate(a, ga);
                 }
                 Op::L1Loss(a, target) => {
@@ -833,10 +899,7 @@ mod tests {
         let l = g.sum_all(picked);
         g.backward(l);
         // Row 0 picked twice, row 1 never, row 2 once.
-        assert_eq!(
-            g.grad(table).unwrap().data(),
-            &[2., 2., 0., 0., 1., 1.]
-        );
+        assert_eq!(g.grad(table).unwrap().data(), &[2., 2., 0., 0., 1., 1.]);
     }
 
     #[test]

@@ -73,7 +73,11 @@ mod tests {
     #[test]
     fn zeros_and_constant() {
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(Init::Zeros.build(2, 3, &mut rng).data().iter().all(|&x| x == 0.0));
+        assert!(Init::Zeros
+            .build(2, 3, &mut rng)
+            .data()
+            .iter()
+            .all(|&x| x == 0.0));
         assert!(Init::Constant(0.5)
             .build(2, 3, &mut rng)
             .data()
@@ -96,7 +100,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let t = Init::Normal(2.0).build(100, 100, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / (t.len() as f32);
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());

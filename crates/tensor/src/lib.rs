@@ -18,7 +18,13 @@
 //! * **Parameters outside the tape** ([`ParamStore`]): bind → forward →
 //!   backward → harvest → [`optim`] step.
 //! * **Verified gradients**: every op is covered by finite-difference property
-//!   tests (see `tests/gradcheck_props.rs` and the [`gradcheck`] module).
+//!   tests (see `tests/gradcheck_props.rs` and [`check_input_grad`]).
+//! * **Deterministic parallelism** ([`parallel`]): the dominant kernels
+//!   (matmul, gather/scatter, segment reductions, elementwise maps, the Adam
+//!   update) are row-partitioned across scoped threads in a way that keeps
+//!   the per-element floating-point order identical to the serial loops, so
+//!   results are bitwise identical for any thread count. Install the knob
+//!   once via [`ParallelConfig`]; the default (1 thread) is plain serial.
 //!
 //! ```
 //! use siterec_tensor::{Graph, ParamStore, Init, Tensor, optim::{Adam, Optimizer}};
@@ -46,11 +52,13 @@ mod graph;
 mod init;
 pub mod nn;
 pub mod optim;
+pub mod parallel;
 mod param;
 mod tensor;
 
 pub use gradcheck::{check_input_grad, GradCheck};
 pub use graph::{Graph, Var};
 pub use init::Init;
+pub use parallel::ParallelConfig;
 pub use param::{Bindings, Param, ParamId, ParamStore};
 pub use tensor::Tensor;

@@ -193,7 +193,13 @@ mod tests {
         // enough width should drive the loss well below the initial value.
         use crate::optim::{Adam, Optimizer};
         let mut ps = ParamStore::new(7);
-        let mlp = Mlp::new(&mut ps, "m", &[2, 16, 1], Activation::Relu, Activation::None);
+        let mlp = Mlp::new(
+            &mut ps,
+            "m",
+            &[2, 16, 1],
+            Activation::Relu,
+            Activation::None,
+        );
         let xs = Tensor::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
         let ys = Tensor::from_vec(4, 1, vec![0., 1., 1., 2.]);
         let mut opt = Adam::new(0.05);

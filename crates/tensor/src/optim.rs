@@ -1,5 +1,6 @@
 //! First-order optimizers over a [`ParamStore`].
 
+use crate::parallel;
 use crate::param::ParamStore;
 use crate::tensor::Tensor;
 
@@ -108,27 +109,31 @@ impl Optimizer for Adam {
             }
             let m = &mut self.m[i];
             let v = &mut self.v[i];
-            for ((mx, vx), (&gx, wx)) in m
-                .data_mut()
-                .iter_mut()
-                .zip(v.data_mut())
-                .zip(p.grad.data().iter().zip(p.value.data().to_vec().iter()))
-            {
-                let _ = wx;
-                *mx = self.beta1 * *mx + (1.0 - self.beta1) * gx;
-                *vx = self.beta2 * *vx + (1.0 - self.beta2) * gx * gx;
-            }
-            for ((wx, &mx), &vx) in p
-                .value
-                .data_mut()
-                .iter_mut()
-                .zip(m.data())
-                .zip(v.data())
-            {
-                let m_hat = mx / bc1;
-                let v_hat = vx / bc2;
-                *wx -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
+            // Moment and value updates are elementwise, so contiguous chunks
+            // split across workers produce the exact serial bits.
+            let grad = p.grad.data().to_vec();
+            let (beta1, beta2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
+            parallel::for_each_zip3_block_mut(
+                p.value.data_mut(),
+                m.data_mut(),
+                v.data_mut(),
+                16,
+                |off, ws, ms, vs| {
+                    for (j, ((wx, mx), vx)) in ws
+                        .iter_mut()
+                        .zip(ms.iter_mut())
+                        .zip(vs.iter_mut())
+                        .enumerate()
+                    {
+                        let gx = grad[off + j];
+                        *mx = beta1 * *mx + (1.0 - beta1) * gx;
+                        *vx = beta2 * *vx + (1.0 - beta2) * gx * gx;
+                        let m_hat = *mx / bc1;
+                        let v_hat = *vx / bc2;
+                        *wx -= lr * m_hat / (v_hat.sqrt() + eps);
+                    }
+                },
+            );
         }
     }
 }

@@ -1,0 +1,327 @@
+//! Scoped-thread parallel runtime for the tensor kernels.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Bitwise determinism.** For any thread count, every kernel must
+//!    produce output bitwise identical to the serial implementation. All
+//!    partitioning here is therefore *output-partitioned*: each output
+//!    element is computed by exactly one worker, using the same per-element
+//!    floating-point accumulation order as the serial loop. Reductions that
+//!    scatter in input order serially (segment sums, gather backward) are
+//!    inverted to CSR form so each output row accumulates its inputs in
+//!    ascending input order — exactly the serial order.
+//! 2. **Zero overhead when off.** The thread count lives in a process-global
+//!    [`AtomicUsize`] defaulting to 1; every helper short-circuits to the
+//!    plain serial closure without spawning when it is 1 (or when the work
+//!    is too small to amortize a spawn).
+//! 3. **No new dependencies.** Workers are `std::thread::scope` threads,
+//!    spawned per parallel region. A spawn costs tens of microseconds, so
+//!    `plan_workers` refuses to split work smaller than
+//!    `MIN_FLOPS_PER_WORKER`.
+//!
+//! The knob is set through [`ParallelConfig`], which `siterec-core` embeds
+//! in its model configuration — installing it once makes every kernel in
+//! the process (the O²-SiteRec model and all baselines) pick it up without
+//! per-call-site changes.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Process-global worker count for the tensor kernels. 1 = serial.
+static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Minimum ~flops of work per worker before a spawn pays for itself.
+/// A scoped-thread spawn + join costs on the order of 10–100 µs; at
+/// roughly 1 flop/ns that bounds useful splits to ≳64k flops each.
+const MIN_FLOPS_PER_WORKER: usize = 1 << 16;
+
+/// Set the global kernel worker count (clamped to ≥ 1).
+pub fn set_kernel_threads(n: usize) {
+    KERNEL_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Current global kernel worker count.
+pub fn kernel_threads() -> usize {
+    KERNEL_THREADS.load(Ordering::Relaxed)
+}
+
+/// Number of workers worth using for `units` independent work items of
+/// roughly `flops_per_unit` floating-point operations each.
+fn plan_workers(units: usize, flops_per_unit: usize) -> usize {
+    let t = kernel_threads();
+    if t <= 1 || units <= 1 {
+        return 1;
+    }
+    let total = units.saturating_mul(flops_per_unit.max(1));
+    t.min(total / MIN_FLOPS_PER_WORKER).clamp(1, units)
+}
+
+/// Run `f` over `0..n`, split into contiguous ranges across workers.
+///
+/// `f` must only produce effects that are disjoint per range (it receives
+/// no mutable state from here; use it for side-effect-free computation
+/// into interior-mutability-free captured outputs, or read-only work).
+/// Ranges cover `0..n` exactly once, in order within each worker.
+pub fn for_each_range(n: usize, flops_per_unit: usize, f: impl Fn(Range<usize>) + Sync) {
+    let workers = plan_workers(n, flops_per_unit);
+    if workers <= 1 {
+        f(0..n);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        for w in 1..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            s.spawn(move || f(lo..hi));
+        }
+        // Worker 0 runs on the calling thread.
+        f(0..chunk.min(n));
+    });
+}
+
+/// Run `f` over contiguous row-blocks of `data`, where `data` is a
+/// row-major buffer of `row_len`-element rows. Each invocation gets the
+/// index of its first row and the mutable sub-slice holding its rows.
+///
+/// With one worker this is a single `f(0, data)` call; the split points
+/// never change the per-element computation order inside a row block, so
+/// output is bitwise independent of the worker count.
+pub fn for_each_row_block_mut<T: Send>(
+    data: &mut [T],
+    row_len: usize,
+    flops_per_row: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    if data.is_empty() {
+        return;
+    }
+    let rows = data.len().checked_div(row_len).unwrap_or(0);
+    let workers = plan_workers(rows, flops_per_row);
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per = rows.div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut row0 = 0;
+        while !rest.is_empty() {
+            let take = (rows_per * row_len).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let f = &f;
+            let r0 = row0;
+            row0 += take / row_len;
+            s.spawn(move || f(r0, head));
+        }
+    });
+}
+
+/// Like [`for_each_row_block_mut`] but over three equal-length buffers
+/// split at identical boundaries (used by the Adam update, which walks
+/// the parameter value and both moment buffers in lockstep).
+pub fn for_each_zip3_block_mut<T: Send>(
+    a: &mut [T],
+    b: &mut [T],
+    c: &mut [T],
+    flops_per_unit: usize,
+    f: impl Fn(usize, &mut [T], &mut [T], &mut [T]) + Sync,
+) {
+    assert_eq!(a.len(), b.len(), "zip3 length mismatch");
+    assert_eq!(a.len(), c.len(), "zip3 length mismatch");
+    if a.is_empty() {
+        return;
+    }
+    let n = a.len();
+    let workers = plan_workers(n, flops_per_unit);
+    if workers <= 1 {
+        f(0, a, b, c);
+        return;
+    }
+    let per = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let (mut ra, mut rb, mut rc) = (a, b, c);
+        let mut off = 0;
+        while !ra.is_empty() {
+            let take = per.min(ra.len());
+            let (ha, ta) = ra.split_at_mut(take);
+            let (hb, tb) = rb.split_at_mut(take);
+            let (hc, tc) = rc.split_at_mut(take);
+            ra = ta;
+            rb = tb;
+            rc = tc;
+            let f = &f;
+            let o = off;
+            off += take;
+            s.spawn(move || f(o, ha, hb, hc));
+        }
+    });
+}
+
+/// Invert a target-index list to CSR form: returns `(offsets, order)` such
+/// that for each target `t`, `order[offsets[t]..offsets[t + 1]]` lists the
+/// input indices `i` with `targets[i] == t`, in **ascending** order.
+///
+/// Accumulating each target's inputs in this order reproduces, per output
+/// element, the exact floating-point order of the serial scatter loop
+/// `for i { out[targets[i]] += x[i] }` — which is what makes parallel
+/// segment reductions bitwise identical to serial ones.
+pub fn csr_invert(targets: &[usize], n_targets: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut offsets = vec![0usize; n_targets + 1];
+    for &t in targets {
+        debug_assert!(t < n_targets, "target {t} out of range {n_targets}");
+        offsets[t + 1] += 1;
+    }
+    for t in 0..n_targets {
+        offsets[t + 1] += offsets[t];
+    }
+    let mut cursor = offsets.clone();
+    let mut order = vec![0usize; targets.len()];
+    for (i, &t) in targets.iter().enumerate() {
+        order[cursor[t]] = i;
+        cursor[t] += 1;
+    }
+    (offsets, order)
+}
+
+/// Thread-count knob threaded through model configurations.
+///
+/// `install()` publishes the count to the process-global used by every
+/// tensor kernel, so a single call (e.g. from `O2SiteRec::new`) switches
+/// the whole numeric stack — model and baselines alike — with no
+/// per-call-site plumbing. The default of 1 keeps everything serial and
+/// bit-for-bit reproducible against historical results (parallel runs are
+/// bitwise identical to serial ones anyway; see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    /// Worker threads for tensor kernels. 1 = serial (the default).
+    pub threads: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { threads: 1 }
+    }
+}
+
+impl ParallelConfig {
+    /// Explicit serial configuration.
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// Use `threads` workers (clamped to ≥ 1 at install time).
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig { threads }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn max_hardware() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ParallelConfig { threads }
+    }
+
+    /// Publish this configuration to the process-global kernel knob.
+    pub fn install(&self) {
+        set_kernel_threads(self.threads);
+    }
+}
+
+/// Restores the previous global thread count when dropped. Test-only
+/// guard so concurrent tests can't leak a thread-count change.
+pub struct ThreadGuard(usize);
+
+impl ThreadGuard {
+    /// Set the global count to `n` until the guard drops.
+    pub fn set(n: usize) -> Self {
+        let prev = kernel_threads();
+        set_kernel_threads(n);
+        ThreadGuard(prev)
+    }
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        set_kernel_threads(self.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The kernel thread count is process-global; tests that set it must not
+    // interleave (the test harness runs tests on concurrent threads).
+    static GLOBAL_KNOB: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        GLOBAL_KNOB.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn csr_inversion_lists_sources_ascending() {
+        let targets = [2usize, 0, 2, 1, 0, 2];
+        let (offsets, order) = csr_invert(&targets, 3);
+        assert_eq!(offsets, vec![0, 2, 3, 6]);
+        assert_eq!(&order[0..2], &[1, 4]); // target 0
+        assert_eq!(&order[2..3], &[3]); // target 1
+        assert_eq!(&order[3..6], &[0, 2, 5]); // target 2
+    }
+
+    #[test]
+    fn range_split_covers_everything_once() {
+        let _l = lock();
+        let _guard = ThreadGuard::set(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        // Large flops/unit so plan_workers actually splits.
+        for_each_range(1000, MIN_FLOPS_PER_WORKER, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn row_blocks_partition_disjointly() {
+        let _l = lock();
+        let _guard = ThreadGuard::set(8);
+        let mut data = vec![0u32; 96];
+        for_each_row_block_mut(&mut data, 8, MIN_FLOPS_PER_WORKER, |row0, block| {
+            for (j, x) in block.iter_mut().enumerate() {
+                *x = (row0 * 8 + j) as u32;
+            }
+        });
+        let expect: Vec<u32> = (0..96).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn small_work_stays_serial() {
+        let _l = lock();
+        let _guard = ThreadGuard::set(8);
+        assert_eq!(plan_workers(10, 1), 1);
+        assert_eq!(plan_workers(0, 100), 1);
+        // Big work splits, but never beyond the unit count.
+        assert_eq!(plan_workers(2, usize::MAX / 4), 2);
+    }
+
+    #[test]
+    fn install_round_trips() {
+        let _l = lock();
+        let _guard = ThreadGuard::set(1);
+        ParallelConfig::with_threads(3).install();
+        assert_eq!(kernel_threads(), 3);
+        ParallelConfig::serial().install();
+        assert_eq!(kernel_threads(), 1);
+        assert!(ParallelConfig::max_hardware().threads >= 1);
+    }
+}

@@ -36,6 +36,9 @@ pub struct ParamStore {
     rng: StdRng,
 }
 
+// Referenced only through the `#[serde(default = ...)]` attribute, which the
+// offline serde shim expands to nothing — hence the allow.
+#[allow(dead_code)]
 fn default_rng() -> StdRng {
     StdRng::seed_from_u64(0)
 }

@@ -175,11 +175,15 @@ impl Tensor {
     /// Matrix transpose (allocates).
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        let n_rows = self.rows;
+        crate::parallel::for_each_row_block_mut(&mut out.data, n_rows, n_rows, |c0, block| {
+            for (bc, o_row) in block.chunks_mut(n_rows).enumerate() {
+                let c = c0 + bc;
+                for (r, o) in o_row.iter_mut().enumerate() {
+                    *o = self.data[r * self.cols + c];
+                }
             }
-        }
+        });
         out
     }
 
@@ -195,47 +199,51 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(n, m);
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * m..(i + 1) * m];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        // Output rows are independent, so the parallel split changes nothing
+        // about the per-element accumulation order: bitwise identical to the
+        // serial loop for any worker count.
+        crate::parallel::for_each_row_block_mut(&mut out.data, m, 2 * k * m, |i0, block| {
+            for (bi, o_row) in block.chunks_mut(m).enumerate() {
+                let i = i0 + bi;
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[kk * m..(kk + 1) * m];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// Elementwise map into a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        crate::parallel::for_each_row_block_mut(&mut out.data, 1, 8, |off, block| {
+            for (j, o) in block.iter_mut().enumerate() {
+                *o = f(self.data[off + j]);
+            }
+        });
+        out
     }
 
     /// Elementwise binary zip into a new tensor.
     ///
     /// # Panics
     /// Panics on shape mismatch.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        }
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        crate::parallel::for_each_row_block_mut(&mut out.data, 1, 8, |off, block| {
+            for (j, o) in block.iter_mut().enumerate() {
+                *o = f(self.data[off + j], other.data[off + j]);
+            }
+        });
+        out
     }
 
     /// `self += other`, elementwise.
@@ -299,10 +307,14 @@ impl Tensor {
     /// Panics (in debug builds) if any index is out of bounds.
     pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
         let mut out = Tensor::zeros(idx.len(), self.cols);
-        for (o, &i) in idx.iter().enumerate() {
-            debug_assert!(i < self.rows, "gather_rows index {i} out of {}", self.rows);
-            out.row_slice_mut(o).copy_from_slice(self.row_slice(i));
-        }
+        let cols = self.cols;
+        crate::parallel::for_each_row_block_mut(&mut out.data, cols, cols, |o0, block| {
+            for (bo, o_row) in block.chunks_mut(cols).enumerate() {
+                let i = idx[o0 + bo];
+                debug_assert!(i < self.rows, "gather_rows index {i} out of {}", self.rows);
+                o_row.copy_from_slice(self.row_slice(i));
+            }
+        });
         out
     }
 

@@ -1,0 +1,159 @@
+//! Bitwise serial/parallel equivalence: every parallelized kernel must
+//! produce *identical bits* at any thread count, because the parallel
+//! partitioning preserves the serial per-element floating-point order
+//! (see `parallel` module docs). These tests run each kernel — forward,
+//! backward, and the Adam update — at 1 and 8 threads and compare raw
+//! `f32` bit patterns, a far stronger property than the 1e-6 tolerance
+//! the acceptance bar asks for.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use siterec_tensor::optim::{Adam, Optimizer};
+use siterec_tensor::parallel::ThreadGuard;
+use siterec_tensor::{check_input_grad, Graph, Init, ParamStore, Tensor};
+use std::sync::Mutex;
+
+// The kernel thread count is process-global; tests that flip it must not
+// interleave with each other.
+static GLOBAL_KNOB: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_KNOB.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn random_tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    for x in t.data_mut() {
+        *x = rng.gen_range(-2.0f32..2.0);
+    }
+    t
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Run `f` at 1 thread and at 8 threads; assert both produce identical bits.
+fn assert_bitwise_equal(label: &str, f: impl Fn() -> Vec<Tensor>) {
+    let _l = lock();
+    let serial: Vec<Vec<u32>> = {
+        let _g = ThreadGuard::set(1);
+        f().iter().map(bits).collect()
+    };
+    let parallel: Vec<Vec<u32>> = {
+        let _g = ThreadGuard::set(8);
+        f().iter().map(bits).collect()
+    };
+    assert_eq!(serial, parallel, "{label}: serial and 8-thread bits differ");
+}
+
+#[test]
+fn dense_kernels_bitwise_equal() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // Odd sizes so chunk boundaries don't align with anything.
+    let a = random_tensor(&mut rng, 173, 67);
+    let b = random_tensor(&mut rng, 67, 59);
+    let c = random_tensor(&mut rng, 173, 67);
+    assert_bitwise_equal("matmul", || vec![a.matmul(&b)]);
+    assert_bitwise_equal("transpose", || vec![a.transpose()]);
+    assert_bitwise_equal("map", || vec![a.map(|x| (x * 1.7).tanh())]);
+    assert_bitwise_equal("zip", || vec![a.zip(&c, |x, y| x * y + 0.3 * y)]);
+    let idx: Vec<usize> = (0..500).map(|i| (i * 37) % a.rows()).collect();
+    assert_bitwise_equal("gather_rows", || vec![a.gather_rows(&idx)]);
+}
+
+#[test]
+fn attention_pipeline_bitwise_equal_forward_and_backward() {
+    // The hot path of the model: gather -> row_dot -> segment_softmax ->
+    // mul_col_broadcast -> segment_sum -> loss, with gradients flowing all
+    // the way back to the embedding table.
+    let n_nodes = 300;
+    let n_edges = 4000;
+    let dim = 33;
+    let mut rng = StdRng::seed_from_u64(11);
+    let emb0 = random_tensor(&mut rng, n_nodes, dim);
+    let src: Vec<usize> = (0..n_edges).map(|_| rng.gen_range(0..n_nodes)).collect();
+    let dst: Vec<usize> = (0..n_edges).map(|_| rng.gen_range(0..n_nodes)).collect();
+    let target = Tensor::zeros(n_nodes, dim);
+
+    let run = || {
+        let mut g = Graph::new();
+        let emb = g.param(emb0.clone());
+        let hs = g.gather_rows(emb, &src);
+        let ht = g.gather_rows(emb, &dst);
+        let scores = g.row_dot(hs, ht);
+        let att = g.segment_softmax(&dst, scores);
+        let weighted = g.mul_col_broadcast(hs, att);
+        let pooled = g.segment_sum(weighted, &dst, n_nodes);
+        let act = g.tanh(pooled);
+        let loss = g.mse_loss(act, &target);
+        g.backward(loss);
+        vec![
+            g.value(pooled).clone(),
+            g.value(att).clone(),
+            g.grad(emb).expect("emb grad").clone(),
+        ]
+    };
+    assert_bitwise_equal("attention forward+backward", run);
+}
+
+#[test]
+fn matmul_chain_backward_bitwise_equal() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let x0 = random_tensor(&mut rng, 140, 48);
+    let w0 = random_tensor(&mut rng, 48, 37);
+    let target = Tensor::zeros(140, 37);
+    let run = || {
+        let mut g = Graph::new();
+        let x = g.param(x0.clone());
+        let w = g.param(w0.clone());
+        let h = g.matmul(x, w);
+        let y = g.relu(h);
+        let sm = g.softmax_rows(y);
+        let loss = g.mse_loss(sm, &target);
+        g.backward(loss);
+        vec![
+            g.value(sm).clone(),
+            g.grad(x).expect("x grad").clone(),
+            g.grad(w).expect("w grad").clone(),
+        ]
+    };
+    assert_bitwise_equal("matmul chain", run);
+}
+
+#[test]
+fn adam_steps_bitwise_equal() {
+    let run = || {
+        let mut ps = ParamStore::new(3);
+        let w = ps.add("w", 90, 90, Init::XavierUniform);
+        let mut opt = Adam::new(0.01);
+        let target = Tensor::zeros(90, 90);
+        for _ in 0..5 {
+            let mut g = Graph::new();
+            let binds = ps.bind(&mut g);
+            let y = g.tanh(binds.var(w));
+            let loss = g.mse_loss(y, &target);
+            g.backward(loss);
+            ps.zero_grads();
+            ps.harvest(&g, &binds);
+            opt.step(&mut ps);
+        }
+        vec![ps.get(w).value.clone()]
+    };
+    assert_bitwise_equal("adam training", run);
+}
+
+#[test]
+fn gradcheck_passes_with_parallel_kernels_active() {
+    let _l = lock();
+    let _g = ThreadGuard::set(4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let input = random_tensor(&mut rng, 30, 7);
+    let dst: Vec<usize> = (0..30).map(|i| i % 6).collect();
+    let report = check_input_grad(&input, 1e-3, |g, x| {
+        let s = g.segment_sum(x, &dst, 6);
+        let t = g.tanh(s);
+        g.mean_all(t)
+    });
+    assert!(report.passes(1e-2), "gradcheck with 4 threads: {report:?}");
+}

@@ -46,7 +46,10 @@ fn main() {
     g.training = false;
     let binds = ps.bind(&mut g);
     let out = model.forward(&mut g, &binds);
-    println!("\nfinal O1 = {:.5} (normalized minutes)", g.value(out.o1).item());
+    println!(
+        "\nfinal O1 = {:.5} (normalized minutes)",
+        g.value(out.o1).item()
+    );
 
     // Ground-truth capacity landscape vs period for context.
     println!("\nsupply-demand ratio and observed delivery time by period (city median):");

@@ -38,7 +38,12 @@ fn main() {
     println!("\n-- supply-demand ratio per slot (normalized; dips = restrained capacity) --");
     let ratio = data.supply_demand_ratio_by_slot();
     for (i, &r) in ratio.iter().enumerate() {
-        println!("  {} | {:<40} {:.2}", Slot2h(i as u32).label(), bar(r, 1.0, 40), r);
+        println!(
+            "  {} | {:<40} {:.2}",
+            Slot2h(i as u32).label(),
+            bar(r, 1.0, 40),
+            r
+        );
     }
 
     println!("\n-- mean delivery time per period --");
@@ -50,7 +55,12 @@ fn main() {
             .map(|o| o.delivery_minutes())
             .collect();
         let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
-        println!("  {:>13}: {:.1} min over {} orders", p.label(), mean, times.len());
+        println!(
+            "  {:>13}: {:.1} min over {} orders",
+            p.label(),
+            mean,
+            times.len()
+        );
     }
 
     println!("\n-- top-3 store types per period (preferences shift along the day) --");
@@ -64,7 +74,11 @@ fn main() {
     }
 
     println!("\n-- orders by region class --");
-    for class in [RegionClass::Downtown, RegionClass::Midtown, RegionClass::Suburb] {
+    for class in [
+        RegionClass::Downtown,
+        RegionClass::Midtown,
+        RegionClass::Suburb,
+    ] {
         let regions = data.city.regions_of_class(class);
         let count: usize = data
             .orders

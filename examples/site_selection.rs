@@ -70,9 +70,7 @@ fn main() {
 
     // Naive heuristic: the busiest candidates by POI count ("foot traffic").
     let mut heuristic: Vec<usize> = candidates.clone();
-    heuristic.sort_by_key(|&r| {
-        std::cmp::Reverse(data.city.regions[r].pois.iter().sum::<u32>())
-    });
+    heuristic.sort_by_key(|&r| std::cmp::Reverse(data.city.regions[r].pois.iter().sum::<u32>()));
     let heuristic_picks: Vec<usize> = heuristic.into_iter().take(3).collect();
 
     // Ground truth: realized orders of the type per region.
@@ -84,7 +82,10 @@ fn main() {
         counts.iter().take(3).sum()
     };
 
-    println!("\nsite picks for '{}' (region id @ lat/lon -> realized orders):", data.store_types[chicken].name);
+    println!(
+        "\nsite picks for '{}' (region id @ lat/lon -> realized orders):",
+        data.store_types[chicken].name
+    );
     for (label, picks) in [
         ("O2-SiteRec", &model_picks),
         ("foot-traffic heuristic", &heuristic_picks),
@@ -115,6 +116,7 @@ fn main() {
     // one-size-fits-all foot-traffic ranking.
     let (mut model_total, mut heur_total, mut oracle_total) = (0u32, 0u32, 0u32);
     let mut types_used = 0;
+    #[allow(clippy::needless_range_loop)] // ty is a type id, not a position in `gt`
     for ty in 0..data.num_types() {
         let cands = candidates_of(ty);
         if cands.len() < 4 {

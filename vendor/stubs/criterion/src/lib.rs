@@ -1,0 +1,151 @@
+//! Offline API-compatible shim for the `criterion` crate.
+//!
+//! Implements the subset `benches/perf_micro.rs` uses — `Criterion`,
+//! `benchmark_group`, `measurement_time`/`sample_size`, `bench_function`,
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!` — as a simple
+//! wall-clock timer: each benchmark is warmed up once, run `sample_size`
+//! times, and the mean/min/max per-iteration times are printed. No
+//! statistical analysis, outlier detection, or HTML reports. The real
+//! crate takes over in network builds.
+
+use std::time::{Duration, Instant};
+
+/// Identity hint mirroring `criterion::black_box` (defers to `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Mirrors `Criterion::bench_function` (ungrouped benchmark).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        };
+        group.bench_function(name, f);
+        self
+    }
+
+    /// Mirrors `Criterion::final_summary` (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Cap the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark: warm-up iteration, then up to `sample_size`
+    /// timed samples bounded by `measurement_time`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        // Warm-up (uncounted).
+        f(&mut bencher);
+        bencher.elapsed = Duration::ZERO;
+        bencher.iters = 0;
+
+        let budget = Instant::now();
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let before = (bencher.elapsed, bencher.iters);
+            f(&mut bencher);
+            let dt = bencher.elapsed - before.0;
+            let di = (bencher.iters - before.1).max(1);
+            samples.push(dt.as_secs_f64() / di as f64);
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "  {name}: mean {:.3} ms  [min {:.3} ms, max {:.3} ms]  ({} samples)",
+            mean * 1e3,
+            min * 1e3,
+            max * 1e3,
+            samples.len()
+        );
+        self
+    }
+
+    /// End the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one call of `routine` (the shim runs exactly one iteration
+    /// per sample instead of Criterion's adaptive batching).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Shim of `criterion_group!`: bundles benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Shim of `criterion_main!`: generates `main` calling each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,272 @@
+//! Offline API-compatible shim for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use — range and tuple
+//! strategies, `prop::collection::vec`, `prop_map`, the `proptest!` macro and
+//! `prop_assert*` — as a plain deterministic sampler: each test runs
+//! `ProptestConfig::cases` random cases from a fixed seed. There is **no
+//! shrinking** and no persisted failure corpus; a failing case panics with
+//! the normal assert message. Good enough to exercise every property offline;
+//! the real crate takes over in network builds.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic case generator used by the [`proptest!`] macro.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Random source threaded through strategies.
+    pub struct Gen(StdRng);
+
+    impl Gen {
+        /// Seeded generator (the macro derives the seed from the config).
+        pub fn new(seed: u64) -> Self {
+            Gen(StdRng::seed_from_u64(seed))
+        }
+
+        /// Raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Value-generation strategies (shim of `proptest::strategy`).
+pub mod strategy {
+    use super::test_runner::Gen;
+
+    /// A recipe for producing random values of `Self::Value`.
+    pub trait Strategy {
+        /// The produced type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, gen: &mut Gen) -> Self::Value;
+
+        /// Transform produced values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, gen: &mut Gen) -> O {
+            (self.f)(self.inner.generate(gen))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _gen: &mut Gen) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+use strategy::Strategy;
+use test_runner::Gen;
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (gen.next_u64() as u128 % width) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (gen.next_u64() as u128 % width) as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                self.start + (gen.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                *self.start() + (gen.unit_f64() as $t) * (*self.end() - *self.start())
+            }
+        }
+    )*};
+}
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                ($(self.$idx.generate(gen),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3)
+);
+
+/// Shim of the `prop` helper module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::Gen;
+
+        /// Sizes accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+        pub struct SizeRange(std::ops::Range<usize>);
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange(n..n + 1)
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                SizeRange(r)
+            }
+        }
+
+        /// Strategy for `Vec`s whose elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into().0,
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
+                let width = (self.size.end - self.size.start).max(1) as u64;
+                let n = self.size.start + (gen.next_u64() % width) as usize;
+                (0..n).map(|_| self.element.generate(gen)).collect()
+            }
+        }
+    }
+}
+
+/// Per-test configuration (shim of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything the workspace imports via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Shim of `proptest!`: expands each case into a plain `#[test]` loop over
+/// `ProptestConfig::cases` deterministic samples (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut gen = $crate::test_runner::Gen::new(
+                0x5eed_0000u64 ^ (stringify!($name).len() as u64)
+            );
+            for __case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut gen);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// Shim of `prop_assert!` (plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Shim of `prop_assert_eq!` (plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Shim of `prop_assert_ne!` (plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}

@@ -1,0 +1,158 @@
+//! Offline API-compatible shim for the `rand_distr` crate.
+//!
+//! Implements the subset the workspace uses — [`Poisson`], [`LogNormal`],
+//! [`Normal`] over `f64` — with textbook algorithms (Knuth / normal
+//! approximation for Poisson, Box–Muller for the Gaussians). Deterministic
+//! under a seeded generator; streams differ from the real crate.
+
+use rand::{RngCore, Standard};
+
+/// A type that can produce values of `T` given a generator.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by invalid distribution parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rand_distr shim: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller; rejects u1 == 0 to keep ln finite.
+    loop {
+        let u1 = f64::draw(rng);
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2 = f64::draw(rng);
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Poisson distribution over `f64` counts.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Poisson with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Poisson { lambda })
+        } else {
+            Err(Error("Poisson lambda must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth: multiply uniforms until below e^-lambda.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= f64::draw(rng);
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation for large rates.
+            let x = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            x.round().max(0.0)
+        }
+    }
+}
+
+/// Gaussian distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Normal with the given mean and standard deviation (`std_dev >= 0`).
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(Error("Normal requires finite mean and std_dev >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(Normal(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Log-normal whose logarithm has the given mean and standard deviation.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &lambda in &[0.5, 3.0, 12.0, 80.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let n = 4000;
+            let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.15,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = LogNormal::new(0.0, 0.35).unwrap();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+}

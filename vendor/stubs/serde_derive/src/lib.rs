@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the `Serialize` / `Deserialize` derives
+//! expand to nothing. The shim `serde` crate provides blanket trait impls, so
+//! an empty expansion still satisfies every bound. `#[serde(...)]` helper
+//! attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,40 @@
+//! Offline API-compatible shim for `serde_json`.
+//!
+//! Type-checks everywhere the workspace uses `serde_json`, but does **not**
+//! implement real JSON: [`to_string`] returns a placeholder and [`from_str`]
+//! always errors. Serialization-dependent tests are therefore skipped under
+//! offline builds (see `ci.sh` and the notes in `tests/serde_roundtrip.rs`).
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`.
+#[derive(Debug)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json offline shim: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Placeholder serialization (the shim cannot produce real JSON).
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Ok("{\"__offline_stub__\":true}".to_string())
+}
+
+/// Placeholder pretty serialization.
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    to_string(value)
+}
+
+/// Always errors: the shim cannot deserialize.
+pub fn from_str<T>(_s: &str) -> Result<T> {
+    Err(Error(
+        "deserialization requires the real serde_json (network build)",
+    ))
+}
