@@ -4,7 +4,10 @@
 
 use siterec_tensor::nn::{Embedding, Linear};
 use siterec_tensor::optim::{Adam, Optimizer};
-use siterec_tensor::{Bindings, Graph, Init, ParamId, ParamStore, Tensor, Var};
+use siterec_tensor::{
+    retry_seed, Bindings, Graph, GuardConfig, Init, ParamId, ParamStore, RecoveryEvent, Tensor,
+    TrainError, TrainGuard, Var,
+};
 
 /// A node set with ID embeddings and (optional) input features, fused by a
 /// linear projection into the model dimension.
@@ -140,30 +143,76 @@ impl Default for TrainLoop {
     }
 }
 
+/// Result of a guarded [`TrainLoop::try_run`]: the per-epoch loss trace plus
+/// any recoveries (rollback + lr decay) the guard performed along the way.
+#[derive(Debug, Clone)]
+pub struct TrainTrace {
+    /// Committed loss per epoch.
+    pub losses: Vec<f32>,
+    /// Recovery events, in order. Empty for a healthy run.
+    pub recoveries: Vec<RecoveryEvent>,
+}
+
 impl TrainLoop {
     /// Run the loop: `step` builds the loss for the current epoch. Returns
-    /// the loss trace.
+    /// the loss trace. Panics if training diverges beyond the default guard
+    /// budget — use [`Self::try_run`] for structured error handling.
     pub fn run(
         &self,
         ps: &mut ParamStore,
-        mut step: impl FnMut(&mut Graph, &Bindings) -> Var,
+        step: impl FnMut(&mut Graph, &Bindings) -> Var,
     ) -> Vec<f32> {
+        self.try_run(GuardConfig::default(), ps, step)
+            .expect("baseline training diverged beyond the guard's recovery budget")
+            .losses
+    }
+
+    /// Guarded training loop shared by all GNN baselines: per-epoch health
+    /// checks (tape faults, non-finite loss/gradients, loss explosion) with
+    /// checkpoint rollback, lr decay and bounded retry. Healthy runs are
+    /// bit-identical to the historical unguarded loop ([`retry_seed`] is the
+    /// identity at attempt 0).
+    pub fn try_run(
+        &self,
+        guard_cfg: GuardConfig,
+        ps: &mut ParamStore,
+        mut step: impl FnMut(&mut Graph, &Bindings) -> Var,
+    ) -> Result<TrainTrace, TrainError> {
         let mut opt = Adam::new(self.lr);
-        let mut trace = Vec::with_capacity(self.epochs);
-        for epoch in 0..self.epochs {
-            let mut g = Graph::with_seed(self.seed ^ ((epoch as u64) << 3));
+        let mut guard = TrainGuard::new(guard_cfg, ps, &opt);
+        let mut losses = Vec::with_capacity(self.epochs);
+        let mut epoch = 0;
+        while epoch < self.epochs {
+            let base = self.seed ^ ((epoch as u64) << 3);
+            let mut g = Graph::with_seed(retry_seed(base, guard.attempt(epoch)));
             let binds = ps.bind(&mut g);
             let loss = step(&mut g, &binds);
-            trace.push(g.value(loss).item());
+            let loss_v = g.value(loss).item();
+            if let Some(fault) = guard.pre_step_fault(&g, loss_v) {
+                epoch = guard.recover(epoch, fault, ps, &mut opt)?;
+                losses.truncate(epoch);
+                continue;
+            }
             g.backward(loss);
             ps.zero_grads();
             ps.harvest(&g, &binds);
+            if let Some(fault) = guard.grad_fault(ps) {
+                epoch = guard.recover(epoch, fault, ps, &mut opt)?;
+                losses.truncate(epoch);
+                continue;
+            }
             if self.grad_clip > 0.0 {
                 ps.clip_grad_norm(self.grad_clip);
             }
             opt.step(ps);
+            guard.commit(epoch, loss_v, ps, &opt);
+            losses.push(loss_v);
+            epoch += 1;
         }
-        trace
+        Ok(TrainTrace {
+            losses,
+            recoveries: guard.into_events(),
+        })
     }
 }
 
@@ -225,5 +274,57 @@ mod tests {
             g.mse_loss(binds.var(w), &Tensor::scalar(2.0))
         });
         assert!(trace.last().unwrap() < &(trace[0] * 0.1));
+    }
+
+    #[test]
+    fn try_run_recovers_from_injected_fault() {
+        let mut ps = ParamStore::new(5);
+        let w = ps.add("w", 1, 1, Init::Zeros);
+        let mut calls = 0;
+        let trace = TrainLoop {
+            epochs: 10,
+            lr: 0.1,
+            ..Default::default()
+        }
+        .try_run(GuardConfig::default(), &mut ps, |g, binds| {
+            calls += 1;
+            let loss = g.mse_loss(binds.var(w), &Tensor::scalar(2.0));
+            if calls == 3 {
+                // Third forward pass (= epoch 2, attempt 0): poison the tape.
+                g.add_scalar(loss, f32::NAN)
+            } else {
+                loss
+            }
+        })
+        .unwrap();
+        assert_eq!(trace.losses.len(), 10);
+        assert!(trace.losses.iter().all(|l| l.is_finite()));
+        assert_eq!(trace.recoveries.len(), 1);
+        assert_eq!(trace.recoveries[0].epoch, 2);
+    }
+
+    #[test]
+    fn try_run_fails_structurally_when_budget_spent() {
+        let mut ps = ParamStore::new(5);
+        let w = ps.add("w", 1, 1, Init::Zeros);
+        let err = TrainLoop {
+            epochs: 4,
+            lr: 0.1,
+            ..Default::default()
+        }
+        .try_run(
+            GuardConfig {
+                max_recoveries: 2,
+                ..Default::default()
+            },
+            &mut ps,
+            |g, binds| {
+                let loss = g.mse_loss(binds.var(w), &Tensor::scalar(2.0));
+                g.add_scalar(loss, f32::INFINITY)
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.epoch, 0);
+        assert_eq!(err.recoveries, 2);
     }
 }

@@ -11,10 +11,10 @@
 use siterec_baselines::{Baseline, GraphRec, Hgt, Setting};
 use siterec_bench::context::real_world_or_smoke;
 use siterec_bench::runners::{
-    baseline_epochs, default_model_config, run_baseline_with_types, run_o2_with_types,
+    baseline_epochs, default_model_config, run_baseline_with_types, run_o2_with_types_checked,
 };
-use siterec_core::Variant;
-use siterec_eval::{Table, TypeResult};
+use siterec_core::{retry_seed, Variant};
+use siterec_eval::{harness_threads, run_jobs_resilient, RetryPolicy, Table, TypeResult};
 use std::time::Instant;
 
 const SHOWCASE: [&str; 6] = [
@@ -45,16 +45,52 @@ fn main() {
         })
         .collect();
 
-    let (_, o2_types, _) = run_o2_with_types(&ctx, default_model_config(Variant::Full, 17));
-    eprintln!("  [{:?}] O2-SiteRec done", t0.elapsed());
-    let mut hgt = Hgt::new(Setting::Adaption, 7);
-    hgt.set_epochs(baseline_epochs());
-    let (_, hgt_types) = run_baseline_with_types(&ctx, &mut hgt);
-    eprintln!("  [{:?}] HGT done", t0.elapsed());
-    let mut gr = GraphRec::new(Setting::Adaption, 7);
-    gr.set_epochs(baseline_epochs());
-    let (_, gr_types) = run_baseline_with_types(&ctx, &mut gr);
-    eprintln!("  [{:?}] GraphRec done", t0.elapsed());
+    // Three independent, panic-isolated model jobs: a diverging model shows
+    // `FAILED` in its column while the other two still render.
+    let models = ["GraphRec", "HGT", "O2-SiteRec"];
+    let outputs = run_jobs_resilient(
+        &models,
+        harness_threads(),
+        RetryPolicy::default(),
+        |&name, attempt| -> Vec<TypeResult> {
+            let seed = retry_seed(7, attempt);
+            let types = match name {
+                "GraphRec" => {
+                    let mut gr = GraphRec::new(Setting::Adaption, seed);
+                    gr.set_epochs(baseline_epochs());
+                    run_baseline_with_types(&ctx, &mut gr).1
+                }
+                "HGT" => {
+                    let mut hgt = Hgt::new(Setting::Adaption, seed);
+                    hgt.set_epochs(baseline_epochs());
+                    run_baseline_with_types(&ctx, &mut hgt).1
+                }
+                _ => {
+                    let cfg = default_model_config(Variant::Full, retry_seed(17, attempt));
+                    run_o2_with_types_checked(&ctx, cfg)
+                        .unwrap_or_else(|e| panic!("{e}"))
+                        .1
+                }
+            };
+            eprintln!("  [{:?}] {name} done", t0.elapsed());
+            types
+        },
+    );
+    let mut failures = Vec::new();
+    let mut per_model: Vec<Vec<TypeResult>> = Vec::new();
+    for (&name, out) in models.iter().zip(outputs) {
+        match out {
+            Ok(types) => per_model.push(types),
+            Err(fail) => {
+                failures.push(format!("{name}: {fail}"));
+                per_model.push(Vec::new());
+            }
+        }
+    }
+    let (gr_types, hgt_types, o2_types) = (&per_model[0], &per_model[1], &per_model[2]);
+    for f in &failures {
+        println!("failed model: {f}\n");
+    }
 
     for (metric, get) in [
         (
@@ -67,19 +103,22 @@ fn main() {
         let mut table = Table::new(&["store type", "GraphRec", "HGT", "O2-SiteRec"]);
         let mut o2_vals = Vec::new();
         for &(ty, name) in &type_idx {
-            let cell = |ts: &[TypeResult]| {
+            let cell = |ts: &[TypeResult], failed: bool| {
+                if failed {
+                    return "FAILED".to_string();
+                }
                 pick(ts, ty)
                     .map(|t| format!("{:.4}", get(t)))
                     .unwrap_or_else(|| "n/a".into())
             };
-            if let Some(t) = pick(&o2_types, ty) {
+            if let Some(t) = pick(o2_types, ty) {
                 o2_vals.push(get(t));
             }
             table.row(vec![
                 name.to_string(),
-                cell(&gr_types),
-                cell(&hgt_types),
-                cell(&o2_types),
+                cell(gr_types, gr_types.is_empty()),
+                cell(hgt_types, hgt_types.is_empty()),
+                cell(o2_types, o2_types.is_empty()),
             ]);
         }
         println!("{}", table.render());

@@ -7,7 +7,7 @@
 //! Regenerate with: `cargo bench -p siterec-bench --bench fig14_geo_distribution`
 
 use siterec_bench::context::real_world_or_smoke;
-use siterec_bench::runners::{default_model_config, run_o2};
+use siterec_bench::runners::{default_model_config, run_o2_checked};
 use siterec_core::Variant;
 use siterec_eval::{evaluate_subset, Table};
 use siterec_sim::RegionClass;
@@ -17,7 +17,16 @@ fn main() {
     let t0 = Instant::now();
     println!("=== Fig. 14: impact of the geographic distribution of candidate regions ===\n");
     let ctx = real_world_or_smoke(0);
-    let (_, model) = run_o2(&ctx, default_model_config(Variant::Full, 17));
+    // Structured divergence handling: an unrecoverable training fault
+    // renders as an explicit failure line, not a panic.
+    let model = match run_o2_checked(&ctx, default_model_config(Variant::Full, 17)) {
+        Ok((_, model)) => model,
+        Err(e) => {
+            println!("FAILED: {e}");
+            println!("total wall time: {:?}", t0.elapsed());
+            return;
+        }
+    };
     eprintln!("  [{:?}] model trained", t0.elapsed());
 
     let class_regions = |class: RegionClass| -> Vec<usize> {

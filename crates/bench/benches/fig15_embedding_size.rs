@@ -4,12 +4,16 @@
 //! Paper shape: stable plateau, best around 90 — too small underfits, too
 //! large adds complexity/overfitting.
 //!
+//! Each sweep point is an independent, panic-isolated job: a diverging run
+//! renders as an explicit `FAILED` row with its diagnostic and the remaining
+//! points still plot the curve.
+//!
 //! Regenerate with: `cargo bench -p siterec-bench --bench fig15_embedding_size`
 
 use siterec_bench::context::real_world_or_smoke;
-use siterec_bench::runners::{default_model_config, run_o2};
-use siterec_core::Variant;
-use siterec_eval::Table;
+use siterec_bench::runners::{default_model_config, run_o2_checked};
+use siterec_core::{retry_seed, Variant};
+use siterec_eval::{harness_threads, run_jobs_resilient, RetryPolicy, Table};
 use std::time::Instant;
 
 fn main() {
@@ -17,27 +21,53 @@ fn main() {
     println!("=== Fig. 15: effect of different embedding sizes (d2) ===\n");
     let ctx = real_world_or_smoke(0);
 
+    let sizes = [30usize, 60, 90, 120, 150];
+    let outputs = run_jobs_resilient(
+        &sizes,
+        harness_threads(),
+        RetryPolicy::default(),
+        |&d2, attempt| {
+            let mut cfg = default_model_config(Variant::Full, retry_seed(17, attempt));
+            cfg.d2 = d2;
+            let (res, _) = run_o2_checked(&ctx, cfg).unwrap_or_else(|e| panic!("{e}"));
+            eprintln!("  [{:?}] d2 = {d2} done", t0.elapsed());
+            res
+        },
+    );
+
     let mut table = Table::new(&["embedding size", "NDCG@3", "Prec@3"]);
     let mut results = Vec::new();
-    for d2 in [30usize, 60, 90, 120, 150] {
-        let mut cfg = default_model_config(Variant::Full, 17);
-        cfg.d2 = d2;
-        let (res, _) = run_o2(&ctx, cfg);
-        eprintln!("  [{:?}] d2 = {d2} done", t0.elapsed());
-        table.row(vec![
-            d2.to_string(),
-            format!("{:.4}", res.ndcg3),
-            format!("{:.4}", res.precision3),
-        ]);
-        results.push((d2, res.ndcg3));
+    let mut failures = Vec::new();
+    for (&d2, out) in sizes.iter().zip(outputs) {
+        match out {
+            Ok(res) => {
+                table.row(vec![
+                    d2.to_string(),
+                    format!("{:.4}", res.ndcg3),
+                    format!("{:.4}", res.precision3),
+                ]);
+                results.push((d2, res.ndcg3));
+            }
+            Err(fail) => {
+                table.row(vec![d2.to_string(), "FAILED".into(), "FAILED".into()]);
+                failures.push(format!("d2 = {d2}: {fail}"));
+            }
+        }
     }
     println!("{}", table.render());
+    for f in &failures {
+        println!("failed point: {f}");
+    }
+    if results.is_empty() {
+        println!(
+            "no surviving sweep points; total wall time: {:?}",
+            t0.elapsed()
+        );
+        return;
+    }
     let spread = results.iter().map(|r| r.1).fold(f64::MIN, f64::max)
         - results.iter().map(|r| r.1).fold(f64::MAX, f64::min);
-    let best = results
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap();
+    let best = results.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
     println!(
         "best d2 = {} (paper: 90); spread across sizes {:.4} -> {}",
         best.0,

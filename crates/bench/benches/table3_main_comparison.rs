@@ -3,18 +3,23 @@
 //! versus O²-SiteRec, over NDCG@{3,5,10}, Precision@{3,5,10} and RMSE, with
 //! a paired t-test against the strongest baseline (HGT) across matched rounds.
 //!
+//! Every (model × setting) cell is an independent, panic-isolated job: a
+//! diverging model renders as an explicit `FAILED` row with its diagnostic
+//! while the rest of the table fills in normally.
+//!
 //! Regenerate with: `cargo bench -p siterec-bench --bench table3_main_comparison`
 //! (set `SITEREC_ROUNDS` to change the number of repeated rounds, and
 //! `SITEREC_SMOKE=1` for a CI-scale smoke run).
 
 use siterec_baselines::{all_baselines, Baseline, Hgt, Setting};
-use siterec_bench::context::real_world_or_smoke;
-use siterec_bench::runners::{
-    baseline_epochs, default_model_config, run_baseline, run_o2, run_rounds,
-};
-use siterec_core::Variant;
+use siterec_bench::context::{real_world_or_smoke, Context};
+use siterec_bench::runners::{baseline_epochs, default_model_config, run_baseline, run_o2_checked};
+use siterec_core::{retry_seed, Variant};
 use siterec_eval::stats::paired_t_test;
-use siterec_eval::{full_metric_cells, stars, EvalResult, Table};
+use siterec_eval::{
+    full_metric_cells, harness_threads, run_jobs, run_jobs_resilient, stars, EvalResult,
+    RetryPolicy, Table,
+};
 use std::time::Instant;
 
 fn rounds() -> u64 {
@@ -22,6 +27,28 @@ fn rounds() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(3)
+}
+
+/// One independent table cell. The full baseline grid runs once (round 0);
+/// the t-test pair (HGT-Adaption, O2-SiteRec) runs every round.
+#[derive(Debug, Clone, Copy)]
+enum Cell {
+    /// `all_baselines(setting, ..)[idx]` on the round-0 context.
+    Baseline { setting: Setting, idx: usize },
+    /// HGT-Adaption on the context of `round`.
+    HgtRound(u64),
+    /// O²-SiteRec (full) on the context of `round`.
+    O2Round(u64),
+}
+
+enum CellResult {
+    Baseline {
+        name: String,
+        setting: String,
+        res: EvalResult,
+    },
+    Hgt(EvalResult),
+    O2(EvalResult),
 }
 
 fn main() {
@@ -32,61 +59,114 @@ fn main() {
         "(rounds = {rounds}; O2-SiteRec and HGT-Adaption repeated every round for the t-test)\n"
     );
 
-    // Round 0 carries the full baseline grid; O2-SiteRec and HGT (the t-test
-    // pair) run in every round. Rounds are independent — each derives its
-    // dataset, split and model seeds from the round index alone — so they fan
-    // out across `SITEREC_THREADS` harness threads (default: serial). Results
-    // come back in round order, making the table identical either way.
-    let round_outputs = run_rounds(rounds, |round| {
-        let ctx = real_world_or_smoke(round);
-        let mut baseline_rows: Vec<(String, String, EvalResult)> = Vec::new();
-        if round == 0 {
-            println!(
-                "dataset: {} orders, {} stores, {} regions, {} types; train {} / test {} interactions\n",
-                ctx.data.orders.len(),
-                ctx.data.stores.len(),
-                ctx.data.num_regions(),
-                ctx.data.num_types(),
-                ctx.task.split.train.len(),
-                ctx.task.split.test.len()
-            );
-            for setting in [Setting::Original, Setting::Adaption] {
-                for mut b in all_baselines(setting, 7 + round) {
-                    // HGT-Adaption is handled by the per-round pair below.
-                    if b.name() == "HGT" && setting == Setting::Adaption {
-                        continue;
-                    }
-                    b.set_epochs(baseline_epochs());
-                    let res = run_baseline(&ctx, b.as_mut());
-                    eprintln!(
-                        "  [{:?}] {} {} done",
-                        t0.elapsed(),
-                        b.name(),
-                        setting.label()
-                    );
-                    baseline_rows.push((b.name().to_string(), setting.label().to_string(), res));
+    // Contexts are shared read-only across all cell jobs: each round derives
+    // its dataset and split from the round index alone.
+    let round_idx: Vec<u64> = (0..rounds).collect();
+    let ctxs: Vec<Context> = run_jobs(&round_idx, harness_threads(), |&r| real_world_or_smoke(r));
+    let ctx0 = &ctxs[0];
+    println!(
+        "dataset: {} orders, {} stores, {} regions, {} types; train {} / test {} interactions\n",
+        ctx0.data.orders.len(),
+        ctx0.data.stores.len(),
+        ctx0.data.num_regions(),
+        ctx0.data.num_types(),
+        ctx0.task.split.train.len(),
+        ctx0.task.split.test.len()
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for setting in [Setting::Original, Setting::Adaption] {
+        for (idx, b) in all_baselines(setting, 7).iter().enumerate() {
+            // HGT-Adaption is covered by the per-round t-test pair below.
+            if b.name() == "HGT" && setting == Setting::Adaption {
+                continue;
+            }
+            cells.push(Cell::Baseline { setting, idx });
+        }
+    }
+    for round in 0..rounds {
+        cells.push(Cell::HgtRound(round));
+    }
+    for round in 0..rounds {
+        cells.push(Cell::O2Round(round));
+    }
+
+    // One panic-isolated job per cell, with one reseeded retry. A cell that
+    // keeps failing comes back as a JobFailure in its slot; everything else
+    // is unaffected.
+    let outputs = run_jobs_resilient(
+        &cells,
+        harness_threads(),
+        RetryPolicy::default(),
+        |cell, attempt| match *cell {
+            Cell::Baseline { setting, idx } => {
+                let seed = retry_seed(7, attempt);
+                let mut bs = all_baselines(setting, seed);
+                let b = &mut bs[idx];
+                b.set_epochs(baseline_epochs());
+                let res = run_baseline(ctx0, b.as_mut());
+                eprintln!(
+                    "  [{:?}] {} {} done",
+                    t0.elapsed(),
+                    b.name(),
+                    setting.label()
+                );
+                CellResult::Baseline {
+                    name: b.name().to_string(),
+                    setting: setting.label().to_string(),
+                    res,
                 }
             }
+            Cell::HgtRound(round) => {
+                let mut hgt = Hgt::new(Setting::Adaption, retry_seed(7 + round, attempt));
+                hgt.set_epochs(baseline_epochs());
+                let res = run_baseline(&ctxs[round as usize], &mut hgt);
+                eprintln!("  [{:?}] HGT Adaption round {round} done", t0.elapsed());
+                CellResult::Hgt(res)
+            }
+            Cell::O2Round(round) => {
+                let cfg =
+                    default_model_config(Variant::Full, retry_seed(17 + round, attempt));
+                let (res, _) =
+                    run_o2_checked(&ctxs[round as usize], cfg).unwrap_or_else(|e| panic!("{e}"));
+                eprintln!("  [{:?}] O2-SiteRec round {round} done", t0.elapsed());
+                CellResult::O2(res)
+            }
+        },
+    );
+
+    // Partition results, pairing HGT/O2 rounds for the t-test only where
+    // both survived.
+    let mut baseline_rows: Vec<(String, String, Option<EvalResult>)> = Vec::new();
+    let mut hgt_by_round: Vec<Option<EvalResult>> = vec![None; rounds as usize];
+    let mut o2_by_round: Vec<Option<EvalResult>> = vec![None; rounds as usize];
+    let mut failures: Vec<String> = Vec::new();
+    for (cell, out) in cells.iter().zip(outputs) {
+        match (cell, out) {
+            (_, Ok(CellResult::Baseline { name, setting, res })) => {
+                baseline_rows.push((name, setting, Some(res)));
+            }
+            (&Cell::HgtRound(r), Ok(CellResult::Hgt(res))) => {
+                hgt_by_round[r as usize] = Some(res);
+            }
+            (&Cell::O2Round(r), Ok(CellResult::O2(res))) => {
+                o2_by_round[r as usize] = Some(res);
+            }
+            (cell, Err(fail)) => {
+                let label = match *cell {
+                    Cell::Baseline { setting, idx } => {
+                        let name = all_baselines(setting, 7)[idx].name().to_string();
+                        baseline_rows.push((name.clone(), setting.label().to_string(), None));
+                        format!("{name} {}", setting.label())
+                    }
+                    Cell::HgtRound(r) => format!("HGT Adaption round {r}"),
+                    Cell::O2Round(r) => format!("O2-SiteRec round {r}"),
+                };
+                failures.push(format!("{label}: {fail}"));
+            }
+            _ => unreachable!("cell/result kinds always match"),
         }
-        // The t-test pair, every round.
-        let mut hgt = Hgt::new(Setting::Adaption, 7 + round);
-        hgt.set_epochs(baseline_epochs());
-        let hgt_res = run_baseline(&ctx, &mut hgt);
-        eprintln!("  [{:?}] HGT Adaption round {round} done", t0.elapsed());
-
-        let (o2_res, _) = run_o2(&ctx, default_model_config(Variant::Full, 17 + round));
-        eprintln!("  [{:?}] O2-SiteRec round {round} done", t0.elapsed());
-        (baseline_rows, hgt_res, o2_res)
-    });
-
-    let baseline_rows: Vec<(String, String, EvalResult)> = round_outputs
-        .iter()
-        .flat_map(|(rows, _, _)| rows.clone())
-        .collect();
-    let hgt_results: Vec<EvalResult> = round_outputs.iter().map(|&(_, h, _)| h).collect();
-    let o2_results: Vec<EvalResult> = round_outputs.iter().map(|&(_, _, o)| o).collect();
-    let hgt_ndcg3: Vec<f64> = hgt_results.iter().map(|r| r.ndcg3).collect();
-    let o2_ndcg3: Vec<f64> = o2_results.iter().map(|r| r.ndcg3).collect();
+    }
 
     let mean_res = |rs: &[EvalResult]| -> EvalResult {
         let n = rs.len() as f64;
@@ -101,41 +181,71 @@ fn main() {
             types_evaluated: rs[0].types_evaluated,
         }
     };
+    let failed_cells = || vec!["FAILED".to_string(); 7];
 
     let mut table = Table::new(&[
         "model", "setting", "NDCG@3", "NDCG@5", "NDCG@10", "Prec@3", "Prec@5", "Prec@10", "RMSE",
     ]);
     for (name, setting, res) in &baseline_rows {
-        let mut cells = vec![name.clone(), setting.clone()];
-        cells.extend(full_metric_cells(res));
-        table.row(cells);
+        let mut row = vec![name.clone(), setting.clone()];
+        match res {
+            Some(r) => row.extend(full_metric_cells(r)),
+            None => row.extend(failed_cells()),
+        }
+        table.row(row);
     }
-    let hgt_mean = mean_res(&hgt_results);
-    let mut cells = vec!["HGT".to_string(), "Adaption".to_string()];
-    cells.extend(full_metric_cells(&hgt_mean));
-    table.row(cells);
 
-    let o2_mean = mean_res(&o2_results);
+    let hgt_results: Vec<EvalResult> = hgt_by_round.iter().filter_map(|r| *r).collect();
+    let o2_results: Vec<EvalResult> = o2_by_round.iter().filter_map(|r| *r).collect();
+    // Matched pairs only: the paired t-test needs both sides of a round.
+    let (hgt_ndcg3, o2_ndcg3): (Vec<f64>, Vec<f64>) = hgt_by_round
+        .iter()
+        .zip(&o2_by_round)
+        .filter_map(|(h, o)| Some((h.as_ref()?.ndcg3, o.as_ref()?.ndcg3)))
+        .unzip();
+
+    let hgt_mean = (!hgt_results.is_empty()).then(|| mean_res(&hgt_results));
+    let mut row = vec!["HGT".to_string(), "Adaption".to_string()];
+    match &hgt_mean {
+        Some(m) => row.extend(full_metric_cells(m)),
+        None => row.extend(failed_cells()),
+    }
+    table.row(row);
+
+    let o2_mean = (!o2_results.is_empty()).then(|| mean_res(&o2_results));
     let sig = paired_t_test(&o2_ndcg3, &hgt_ndcg3)
         .map(|t| stars(t.p_two_tailed))
         .unwrap_or("");
-    let mut cells = vec![format!("O2-SiteRec{sig}"), "-".to_string()];
-    cells.extend(full_metric_cells(&o2_mean));
-    table.row(cells);
+    let mut row = vec![format!("O2-SiteRec{sig}"), "-".to_string()];
+    match &o2_mean {
+        Some(m) => row.extend(full_metric_cells(m)),
+        None => row.extend(failed_cells()),
+    }
+    table.row(row);
 
     println!("{}", table.render());
+    if !failures.is_empty() {
+        println!("failed cells ({}):", failures.len());
+        for f in &failures {
+            println!("  {f}");
+        }
+        println!();
+    }
     if let Some(t) = paired_t_test(&o2_ndcg3, &hgt_ndcg3) {
         println!(
-            "t-test O2-SiteRec vs HGT-Adaption on NDCG@3: t = {:.3}, p = {:.4} {}",
+            "t-test O2-SiteRec vs HGT-Adaption on NDCG@3 ({} matched rounds): t = {:.3}, p = {:.4} {}",
+            o2_ndcg3.len(),
             t.t,
             t.p_two_tailed,
             stars(t.p_two_tailed)
         );
     }
-    println!(
-        "\nimprovement over HGT-Adaption: NDCG@3 {:+.2}%, Precision@3 {:+.2}%  (paper: +12.18%, +9.01%)",
-        100.0 * (o2_mean.ndcg3 - hgt_mean.ndcg3) / hgt_mean.ndcg3,
-        100.0 * (o2_mean.precision3 - hgt_mean.precision3) / hgt_mean.precision3
-    );
+    if let (Some(o2m), Some(hgtm)) = (&o2_mean, &hgt_mean) {
+        println!(
+            "\nimprovement over HGT-Adaption: NDCG@3 {:+.2}%, Precision@3 {:+.2}%  (paper: +12.18%, +9.01%)",
+            100.0 * (o2m.ndcg3 - hgtm.ndcg3) / hgtm.ndcg3,
+            100.0 * (o2m.precision3 - hgtm.precision3) / hgtm.precision3
+        );
+    }
     println!("total wall time: {:?}", t0.elapsed());
 }

@@ -3,9 +3,10 @@
 
 use crate::context::{is_smoke, Context};
 use siterec_baselines::Baseline;
-use siterec_core::{O2SiteRec, SiteRecConfig, Variant};
+use siterec_core::{O2SiteRec, SiteRecConfig, TrainError, Variant};
 use siterec_eval::{
-    evaluate, evaluate_with_types, harness_threads, run_jobs, EvalResult, TypeResult,
+    evaluate, evaluate_with_types, harness_threads, run_jobs, run_jobs_resilient, EvalResult,
+    JobFailure, RetryPolicy, TypeResult,
 };
 
 /// Epochs used by the experiment benches for O²-SiteRec.
@@ -49,11 +50,23 @@ pub fn default_model_config(variant: Variant, seed: u64) -> SiteRecConfig {
 }
 
 /// Train an O²-SiteRec variant and evaluate it on the held-out split.
+/// Panics if training diverges beyond the guard's recovery budget — use
+/// [`run_o2_checked`] where a failed cell should render instead of abort.
 pub fn run_o2(ctx: &Context, cfg: SiteRecConfig) -> (EvalResult, O2SiteRec) {
+    run_o2_checked(ctx, cfg).expect("O2-SiteRec training diverged")
+}
+
+/// [`run_o2`] with structured divergence reporting: an unrecoverable
+/// training fault comes back as a [`TrainError`] naming the epoch and fault
+/// instead of tearing down the bench.
+pub fn run_o2_checked(
+    ctx: &Context,
+    cfg: SiteRecConfig,
+) -> Result<(EvalResult, O2SiteRec), TrainError> {
     let mut model = O2SiteRec::new(&ctx.data, &ctx.task, cfg);
-    model.train();
+    model.try_train()?;
     let res = evaluate(&ctx.task.split, |pairs| model.predict(pairs));
-    (res, model)
+    Ok((res, model))
 }
 
 /// Train an O²-SiteRec variant and also return per-type results.
@@ -61,10 +74,18 @@ pub fn run_o2_with_types(
     ctx: &Context,
     cfg: SiteRecConfig,
 ) -> (EvalResult, Vec<TypeResult>, O2SiteRec) {
+    run_o2_with_types_checked(ctx, cfg).expect("O2-SiteRec training diverged")
+}
+
+/// [`run_o2_with_types`] with structured divergence reporting.
+pub fn run_o2_with_types_checked(
+    ctx: &Context,
+    cfg: SiteRecConfig,
+) -> Result<(EvalResult, Vec<TypeResult>, O2SiteRec), TrainError> {
     let mut model = O2SiteRec::new(&ctx.data, &ctx.task, cfg);
-    model.train();
+    model.try_train()?;
     let (res, types) = evaluate_with_types(&ctx.task.split, |pairs| model.predict(pairs));
-    (res, types, model)
+    Ok((res, types, model))
 }
 
 /// Run one independent job per round index, fanning out across
@@ -82,6 +103,24 @@ pub fn run_o2_with_types(
 pub fn run_rounds<R: Send>(rounds: u64, f: impl Fn(u64) -> R + Sync) -> Vec<R> {
     let idx: Vec<u64> = (0..rounds).collect();
     run_jobs(&idx, harness_threads(), |&round| f(round))
+}
+
+/// Panic-isolated [`run_rounds`]: each round job runs under `catch_unwind`
+/// with one reseeded retry; a round that keeps failing yields a
+/// [`JobFailure`] in its slot instead of killing the whole sweep. `f`
+/// receives `(round, attempt)` so it can vary its seeds on retry (e.g. via
+/// `siterec_core::retry_seed`). Surviving results keep round order.
+pub fn run_rounds_checked<R: Send>(
+    rounds: u64,
+    f: impl Fn(u64, usize) -> R + Sync,
+) -> Vec<Result<R, JobFailure>> {
+    let idx: Vec<u64> = (0..rounds).collect();
+    run_jobs_resilient(
+        &idx,
+        harness_threads(),
+        RetryPolicy::default(),
+        |&round, attempt| f(round, attempt),
+    )
 }
 
 /// Fit a baseline and evaluate it.

@@ -1,7 +1,7 @@
 //! Model configuration (hyper-parameters of §IV-A3) and ablation variants.
 
 use serde::{Deserialize, Serialize};
-use siterec_tensor::ParallelConfig;
+use siterec_tensor::{GuardConfig, ParallelConfig};
 
 /// Which variant of the model to build (§IV-A5, Figs. 10–11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -79,6 +79,10 @@ pub struct SiteRecConfig {
     /// built; results are bitwise identical at any thread count.
     #[serde(default)]
     pub parallel: ParallelConfig,
+    /// Training guardrails: non-finite/divergence detection, checkpoint
+    /// rollback, learning-rate decay and the recovery budget.
+    #[serde(default)]
+    pub guard: GuardConfig,
 }
 
 impl Default for SiteRecConfig {
@@ -97,6 +101,7 @@ impl Default for SiteRecConfig {
             variant: Variant::Full,
             grad_clip: 5.0,
             parallel: ParallelConfig::default(),
+            guard: GuardConfig::default(),
         }
     }
 }

@@ -45,6 +45,8 @@ mod recommend;
 pub use attention::RelationAttention;
 pub use capacity::{CapacityModel, CapacityOutput};
 pub use config::{SiteRecConfig, Variant};
-pub use model::{O2SiteRec, TrainEpoch};
+pub use model::{epoch_graph_seed, O2SiteRec, TrainEpoch};
 pub use recommend::HeteroModel;
-pub use siterec_tensor::ParallelConfig;
+pub use siterec_tensor::{
+    retry_seed, GuardConfig, ParallelConfig, RecoveryEvent, TrainError, TrainGuard,
+};

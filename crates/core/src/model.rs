@@ -8,7 +8,9 @@ use crate::recommend::HeteroModel;
 use siterec_graphs::{HeteroGraph, SiteRecTask};
 use siterec_sim::O2oDataset;
 use siterec_tensor::optim::{Adam, Optimizer};
-use siterec_tensor::{Graph, ParamStore, Tensor, Var};
+use siterec_tensor::{
+    retry_seed, Bindings, Graph, ParamStore, RecoveryEvent, Tensor, TrainError, TrainGuard, Var,
+};
 
 /// Loss trace of one training epoch.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +23,15 @@ pub struct TrainEpoch {
     pub o2: f32,
     /// Capacity reconstruction loss (L1, Eq. 6).
     pub o1: f32,
+    /// Cumulative guard recoveries performed before this epoch committed.
+    pub recoveries: usize,
+}
+
+/// Per-epoch tape seed: a pure function of `(config seed, epoch)`, never wall
+/// clock, so dropout masks — and hence every recovery decision downstream —
+/// replay identically across runs and thread counts.
+pub fn epoch_graph_seed(seed: u64, epoch: usize) -> u64 {
+    seed ^ ((epoch as u64) << 1)
 }
 
 /// The full O²-SiteRec model (or one of its ablation variants).
@@ -35,6 +46,7 @@ pub struct O2SiteRec {
     train_a: Vec<usize>,
     train_targets: Tensor,
     history: Vec<TrainEpoch>,
+    recoveries: Vec<RecoveryEvent>,
 }
 
 impl O2SiteRec {
@@ -89,6 +101,7 @@ impl O2SiteRec {
             train_a,
             train_targets,
             history: Vec::new(),
+            recoveries: Vec::new(),
         }
     }
 
@@ -107,7 +120,13 @@ impl O2SiteRec {
         &self.history
     }
 
-    fn forward_losses(&self, g: &mut Graph) -> (Var, Var, Var) {
+    /// Guard recoveries (rollback + lr decay) performed during training.
+    /// Empty for a healthy run.
+    pub fn recovery_events(&self) -> &[RecoveryEvent] {
+        &self.recoveries
+    }
+
+    fn forward_losses(&self, g: &mut Graph) -> (Bindings, Var, Var, Var) {
         let binds = self.ps.bind(g);
         let (caps, o1) = match &self.capacity {
             Some(c) => {
@@ -122,63 +141,97 @@ impl O2SiteRec {
         let o2 = g.mse_loss(pred, &self.train_targets);
         let o1_scaled = g.scale(o1, self.cfg.beta);
         let loss = g.add(o2, o1_scaled);
-        (loss, o2, o1)
+        (binds, loss, o2, o1)
     }
 
     /// Full-batch training for `cfg.epochs` epochs with Adam (Eq. 17
     /// objective). Returns the loss trace.
+    ///
+    /// Runs under the [`TrainGuard`] configured in `cfg.guard`; panics if the
+    /// recovery budget is exhausted — use [`Self::try_train`] to handle that
+    /// case structurally.
     pub fn train(&mut self) -> &[TrainEpoch] {
-        let mut opt = Adam::new(self.cfg.lr);
-        for epoch in 0..self.cfg.epochs {
-            let mut g = Graph::with_seed(self.cfg.seed ^ (epoch as u64) << 1);
-            g.training = true;
-            let binds = self.ps.bind(&mut g);
-            let (caps, o1) = match &self.capacity {
-                Some(c) => {
-                    let out = c.forward(&mut g, &binds);
-                    (Some(out.period_embeddings), out.o1)
-                }
-                None => (None, g.constant(Tensor::scalar(0.0))),
-            };
-            let pred = self.model.forward(
-                &mut g,
-                &binds,
-                caps.as_deref(),
-                &self.train_s,
-                &self.train_a,
-            );
-            let o2 = g.mse_loss(pred, &self.train_targets);
-            let o1_scaled = g.scale(o1, self.cfg.beta);
-            let loss = g.add(o2, o1_scaled);
+        self.try_train()
+            .expect("training diverged beyond the guard's recovery budget");
+        &self.history
+    }
 
+    /// Guarded full-batch training. Each epoch is health-checked (tape
+    /// faults, non-finite loss, loss explosion, non-finite gradients); a
+    /// faulty epoch rolls parameters and optimizer back to the last committed
+    /// checkpoint, decays the learning rate and retries with a retry-variant
+    /// dropout seed. Once `cfg.guard.max_recoveries` is spent the next fault
+    /// surfaces as a [`TrainError`]. Healthy runs are bit-identical to the
+    /// historical unguarded loop.
+    pub fn try_train(&mut self) -> Result<&[TrainEpoch], TrainError> {
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut guard = TrainGuard::new(self.cfg.guard, &self.ps, &opt);
+        let mut epoch = 0;
+        while epoch < self.cfg.epochs {
+            let base = epoch_graph_seed(self.cfg.seed, epoch);
+            let mut g = Graph::with_seed(retry_seed(base, guard.attempt(epoch)));
+            g.training = true;
+            let (binds, loss, o2, o1) = self.forward_losses(&mut g);
+            let loss_v = g.value(loss).item();
+            if let Some(fault) = guard.pre_step_fault(&g, loss_v) {
+                match guard.recover(epoch, fault, &mut self.ps, &mut opt) {
+                    Ok(resume) => {
+                        self.history.truncate(resume);
+                        epoch = resume;
+                        continue;
+                    }
+                    Err(e) => {
+                        self.recoveries = guard.into_events();
+                        return Err(e);
+                    }
+                }
+            }
             let rec = TrainEpoch {
                 epoch,
-                loss: g.value(loss).item(),
+                loss: loss_v,
                 o2: g.value(o2).item(),
                 o1: g.value(o1).item(),
+                recoveries: guard.events().len(),
             };
             g.backward(loss);
             self.ps.zero_grads();
             self.ps.harvest(&g, &binds);
+            if let Some(fault) = guard.grad_fault(&self.ps) {
+                match guard.recover(epoch, fault, &mut self.ps, &mut opt) {
+                    Ok(resume) => {
+                        self.history.truncate(resume);
+                        epoch = resume;
+                        continue;
+                    }
+                    Err(e) => {
+                        self.recoveries = guard.into_events();
+                        return Err(e);
+                    }
+                }
+            }
             if self.cfg.grad_clip > 0.0 {
                 self.ps.clip_grad_norm(self.cfg.grad_clip);
             }
             opt.step(&mut self.ps);
+            guard.commit(epoch, loss_v, &self.ps, &opt);
             self.history.push(rec);
+            epoch += 1;
         }
-        &self.history
+        self.recoveries = guard.into_events();
+        Ok(&self.history)
     }
 
     /// Evaluation-mode losses on the training batch (diagnostic).
     pub fn current_losses(&self) -> TrainEpoch {
         let mut g = Graph::new();
         g.training = false;
-        let (loss, o2, o1) = self.forward_losses(&mut g);
+        let (_binds, loss, o2, o1) = self.forward_losses(&mut g);
         TrainEpoch {
             epoch: self.history.len(),
             loss: g.value(loss).item(),
             o2: g.value(o2).item(),
             o1: g.value(o1).item(),
+            recoveries: self.recoveries.len(),
         }
     }
 
@@ -226,7 +279,9 @@ impl O2SiteRec {
         let pairs: Vec<(usize, usize)> = candidates.iter().map(|&r| (r, ty)).collect();
         let scores = self.predict(&pairs);
         let mut ranked: Vec<(usize, f32)> = candidates.iter().copied().zip(scores).collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        // total_cmp: a NaN score (poisoned parameters) must not panic the
+        // ranking; under total order NaN sorts below every finite score here.
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranked
     }
 }
@@ -320,6 +375,31 @@ mod tests {
             .expect("tiny city has empty regions");
         let p = m.predict(&[(no_store, 0)]);
         assert_eq!(p[0], 0.0);
+    }
+
+    #[test]
+    fn epoch_graph_seeds_are_pinned() {
+        // The per-epoch tape seed is `seed ^ (epoch << 1)` — the shift binds
+        // tighter than the xor. These values are load-bearing: changing them
+        // changes every dropout mask and breaks historical reproducibility.
+        assert_eq!(epoch_graph_seed(17, 0), 17);
+        assert_eq!(epoch_graph_seed(17, 1), 19);
+        assert_eq!(epoch_graph_seed(17, 2), 21);
+        assert_eq!(epoch_graph_seed(17, 3), 23);
+        assert_eq!(epoch_graph_seed(17, 8), 17 ^ 16);
+        // Distinct across the default epoch range.
+        let seeds: std::collections::HashSet<u64> =
+            (0..60).map(|e| epoch_graph_seed(17, e)).collect();
+        assert_eq!(seeds.len(), 60);
+    }
+
+    #[test]
+    fn healthy_run_records_no_recoveries() {
+        let (d, t) = task();
+        let mut m = O2SiteRec::new(&d, &t, tiny_cfg(Variant::Full));
+        m.try_train().unwrap();
+        assert!(m.recovery_events().is_empty());
+        assert!(m.history().iter().all(|e| e.recoveries == 0));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! compose, but on small machines prefer one tier at a time — fanned-out
 //! jobs each training a model already keep every core busy.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -58,6 +59,133 @@ where
         drop(tx);
     });
     let mut indexed: Vec<(usize, R)> = rx.into_iter().collect();
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Structured record of a job that kept panicking through its retry budget.
+///
+/// `index` points into the original input slice, so a failure can be rendered
+/// in place (an explicit failed cell in a results table) without disturbing
+/// the surviving results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobFailure {
+    /// Index of the failed input.
+    pub index: usize,
+    /// Attempts spent (first try + retries).
+    pub attempts: usize,
+    /// Panic message of the final attempt.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} failed after {} attempt(s): {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+/// Retry budget for [`run_jobs_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 = fail immediately).
+    pub max_retries: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 1 }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_attempts<I, R, F>(
+    input: &I,
+    index: usize,
+    policy: RetryPolicy,
+    f: &F,
+) -> Result<R, JobFailure>
+where
+    F: Fn(&I, usize) -> R,
+{
+    let attempts = policy.max_retries + 1;
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        match catch_unwind(AssertUnwindSafe(|| f(input, attempt))) {
+            Ok(r) => return Ok(r),
+            Err(p) => last = panic_message(p),
+        }
+    }
+    Err(JobFailure {
+        index,
+        attempts,
+        message: last,
+    })
+}
+
+/// Panic-isolated variant of [`run_jobs`]: each job runs under
+/// `catch_unwind`, a panicking job is retried up to `policy.max_retries`
+/// times, and a job that exhausts its budget yields a structured
+/// [`JobFailure`] instead of tearing down the whole fan-out.
+///
+/// `f` receives the attempt index (0 on the first try) so jobs can derive a
+/// deterministic retry-variant seed (e.g. `retry_seed(seed, attempt)`) —
+/// randomness must still come only from the input and the attempt, never
+/// shared state. Results come back **in input order**, failures in place, so
+/// a table renders every surviving cell exactly where a fully-healthy run
+/// would have put it.
+pub fn run_jobs_resilient<I, R, F>(
+    inputs: &[I],
+    threads: usize,
+    policy: RetryPolicy,
+    f: F,
+) -> Vec<Result<R, JobFailure>>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(&I, usize) -> R + Sync,
+{
+    let threads = threads.clamp(1, inputs.len().max(1));
+    if threads == 1 {
+        return inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| run_attempts(input, i, policy, &f))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, JobFailure>)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let r = run_attempts(&inputs[i], i, policy, f);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut indexed: Vec<(usize, Result<R, JobFailure>)> = rx.into_iter().collect();
     indexed.sort_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, r)| r).collect()
 }
@@ -134,6 +262,61 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(run_jobs(&empty, 8, |&x| x).is_empty());
         assert_eq!(run_jobs(&[5u32], 8, |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn resilient_isolates_panicking_job() {
+        let inputs: Vec<u64> = (0..8).collect();
+        let out = run_jobs_resilient(
+            &inputs,
+            4,
+            RetryPolicy { max_retries: 0 },
+            |&x, _attempt| {
+                if x == 3 {
+                    panic!("deliberate failure on {x}");
+                }
+                x * 10
+            },
+        );
+        assert_eq!(out.len(), 8);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let fail = r.as_ref().unwrap_err();
+                assert_eq!(fail.index, 3);
+                assert_eq!(fail.attempts, 1);
+                assert!(fail.message.contains("deliberate failure"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u64 * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_retry_recovers_flaky_job() {
+        // Fails on attempt 0, succeeds on attempt 1.
+        let inputs: Vec<u64> = (0..4).collect();
+        let out = run_jobs_resilient(&inputs, 2, RetryPolicy::default(), |&x, attempt| {
+            if x == 2 && attempt == 0 {
+                panic!("flaky");
+            }
+            (x, attempt)
+        });
+        let ok: Vec<(u64, usize)> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(ok, vec![(0, 0), (1, 0), (2, 1), (3, 0)]);
+    }
+
+    #[test]
+    fn resilient_serial_matches_parallel() {
+        let inputs: Vec<u64> = (0..20).collect();
+        let f = |&x: &u64, _attempt: usize| {
+            if x % 7 == 3 {
+                panic!("x = {x}");
+            }
+            x * 3
+        };
+        let serial = run_jobs_resilient(&inputs, 1, RetryPolicy { max_retries: 0 }, f);
+        let parallel = run_jobs_resilient(&inputs, 6, RetryPolicy { max_retries: 0 }, f);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -20,7 +20,9 @@ mod metrics;
 mod report;
 pub mod stats;
 
-pub use fanout::{harness_threads, run_jobs, seed_stream};
+pub use fanout::{
+    harness_threads, run_jobs, run_jobs_resilient, seed_stream, JobFailure, RetryPolicy,
+};
 pub use harness::{
     evaluate, evaluate_subset, evaluate_with_types, top_n_for, EvalResult, TypeResult,
     MIN_CANDIDATES,

@@ -20,28 +20,33 @@ pub struct Candidate {
     pub actual: f32,
 }
 
+/// Descending order with NaN ranked strictly last (after every finite value
+/// and -inf). A NaN score is a corrupt prediction, not a good one: it must
+/// never panic the comparison (`partial_cmp().expect()` would) and must
+/// never float to the top of a ranking.
+fn desc_nan_last(a: f32, b: f32) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.partial_cmp(&a).unwrap_or(Ordering::Equal),
+    }
+}
+
 /// Regions of the ground-truth top-`n` by actual count (ties broken by
-/// region id for determinism).
+/// region id for determinism; NaN counts rank last).
 fn true_top_n(cands: &[Candidate], n: usize) -> Vec<usize> {
     let mut sorted: Vec<&Candidate> = cands.iter().collect();
-    sorted.sort_by(|a, b| {
-        b.actual
-            .partial_cmp(&a.actual)
-            .expect("finite counts")
-            .then(a.region.cmp(&b.region))
-    });
+    sorted.sort_by(|a, b| desc_nan_last(a.actual, b.actual).then(a.region.cmp(&b.region)));
     sorted.iter().take(n).map(|c| c.region).collect()
 }
 
-/// Candidates sorted by predicted score descending (ties by region id).
+/// Candidates sorted by predicted score descending (ties by region id; NaN
+/// predictions rank last).
 fn predicted_ranking(cands: &[Candidate]) -> Vec<usize> {
     let mut sorted: Vec<&Candidate> = cands.iter().collect();
-    sorted.sort_by(|a, b| {
-        b.predicted
-            .partial_cmp(&a.predicted)
-            .expect("finite predictions")
-            .then(a.region.cmp(&b.region))
-    });
+    sorted.sort_by(|a, b| desc_nan_last(a.predicted, b.predicted).then(a.region.cmp(&b.region)));
     sorted.iter().map(|c| c.region).collect()
 }
 
@@ -190,6 +195,21 @@ mod tests {
         assert_eq!(ndcg_at_k(&[], 3, 30), 0.0);
         assert_eq!(precision_at_k(&[], 3, 30), 0.0);
         assert_eq!(rmse(&[]), 0.0);
+    }
+
+    #[test]
+    fn nan_prediction_ranks_last() {
+        let mut c = pool();
+        // Region 0 is in the true top-3; poisoning its prediction must push
+        // it to the bottom of the ranking, not the top (and not panic).
+        c[0].predicted = f32::NAN;
+        let p = precision_at_k(&c, 3, 3);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12, "precision {p}");
+        // NaN actual drops region 0 out of the truth set the same way.
+        let mut c2 = pool();
+        c2[0].actual = f32::NAN;
+        let p2 = precision_at_k(&c2, 3, 3);
+        assert!((p2 - 2.0 / 3.0).abs() < 1e-12, "precision {p2}");
     }
 
     #[test]

@@ -97,6 +97,40 @@ proptest! {
         prop_assert!((c + sym - 1.0).abs() < 1e-9);
     }
 
+    /// NaN predictions/actuals never panic, never escape [0, 1], and a NaN
+    /// prediction ranks last (it cannot inflate the score of the candidate
+    /// carrying it).
+    #[test]
+    fn nan_scores_are_inert(cands in candidates(12), poison in 0usize..12, k in 1usize..6) {
+        let mut poisoned = cands.clone();
+        poisoned[poison].predicted = f32::NAN;
+        let v = ndcg_at_k(&poisoned, k, 5);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "ndcg {v}");
+        let p = precision_at_k(&poisoned, k, 5);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p), "prec {p}");
+
+        poisoned[poison].actual = f32::NAN;
+        let v2 = ndcg_at_k(&poisoned, k, 5);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v2));
+
+        // NaN-only pool: every comparison is between NaNs; still defined.
+        let all_nan: Vec<Candidate> = (0..6)
+            .map(|region| Candidate { region, predicted: f32::NAN, actual: f32::NAN })
+            .collect();
+        prop_assert!(ndcg_at_k(&all_nan, k, 5).is_finite());
+        prop_assert!(precision_at_k(&all_nan, k, 5).is_finite());
+    }
+
+    /// Degenerate pools (empty, or k/n of zero) return the defined value 0.
+    #[test]
+    fn degenerate_pools_are_defined(k in 0usize..6, n in 0usize..6) {
+        prop_assert_eq!(ndcg_at_k(&[], k, n), 0.0);
+        prop_assert_eq!(precision_at_k(&[], k, n), 0.0);
+        let one = [Candidate { region: 0, predicted: 0.5, actual: 1.0 }];
+        let v = ndcg_at_k(&one, k, n);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
     /// Welch's test is symmetric in sign and detects its own sample mean.
     #[test]
     fn welch_properties(

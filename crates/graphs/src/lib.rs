@@ -28,4 +28,6 @@ pub use geo_graph::GeoGraph;
 pub use hetero::{HeteroGraph, HeteroParams, SaEdge, SuEdge, UaEdge};
 pub use mobility::{MobilityEdge, MobilityGraph};
 pub use split::{Interaction, Split};
-pub use task::{SiteRecTask, ADAPTION_PREF_RADIUS_M, GEO_THRESHOLD_M, MOBILITY_MIN_ORDERS};
+pub use task::{
+    SiteRecTask, TaskIssue, ADAPTION_PREF_RADIUS_M, GEO_THRESHOLD_M, MOBILITY_MIN_ORDERS,
+};

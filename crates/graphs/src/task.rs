@@ -7,6 +7,7 @@ use crate::mobility::MobilityGraph;
 use crate::split::Split;
 use serde::{Deserialize, Serialize};
 use siterec_sim::O2oDataset;
+use std::fmt;
 
 /// Geographic-graph distance threshold (paper: 800 m).
 pub const GEO_THRESHOLD_M: f64 = 800.0;
@@ -38,6 +39,42 @@ pub struct SiteRecTask {
     pub adaption_feats: Vec<Vec<f32>>,
 }
 
+/// One structured finding from [`SiteRecTask::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskIssue {
+    /// A non-finite value in a feature table or edge attribute. A NaN here
+    /// enters the tape as a constant and only resurfaces as a NaN loss deep
+    /// into training.
+    NonFiniteValue {
+        /// Which table/edge and index.
+        what: String,
+    },
+    /// A split part has no interactions (training or evaluation would be
+    /// vacuous).
+    EmptySplit {
+        /// `"train"` or `"test"`.
+        part: &'static str,
+    },
+    /// A store-region node with no S-A edges: node-level attention over its
+    /// neighborhood aggregates nothing.
+    IsolatedStoreNode {
+        /// Store-node index.
+        node: usize,
+    },
+}
+
+impl fmt::Display for TaskIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskIssue::NonFiniteValue { what } => write!(f, "non-finite value in {what}"),
+            TaskIssue::EmptySplit { part } => write!(f, "{part} split is empty"),
+            TaskIssue::IsolatedStoreNode { node } => {
+                write!(f, "store node {node} has no S-A edges")
+            }
+        }
+    }
+}
+
 impl SiteRecTask {
     /// Build the task from a dataset with the default graph parameters.
     pub fn build(data: &O2oDataset, train_frac: f64, split_seed: u64) -> SiteRecTask {
@@ -59,6 +96,99 @@ impl SiteRecTask {
             adaption_feats,
         }
     }
+
+    /// Validate the built task: every tensor-bound value must be finite, both
+    /// split parts non-empty, and every store node reachable through at least
+    /// one S-A edge. A task built from a clean dataset is issue-free; findings
+    /// here mean the upstream data was corrupt (see `O2oDataset::validate`)
+    /// and pinpoint what the corruption turned into.
+    pub fn validate(&self) -> Vec<TaskIssue> {
+        let mut issues = Vec::new();
+
+        let check_table = |name: &str, table: &[Vec<f32>], issues: &mut Vec<TaskIssue>| {
+            for (i, row) in table.iter().enumerate() {
+                if row.iter().any(|v| !v.is_finite()) {
+                    issues.push(TaskIssue::NonFiniteValue {
+                        what: format!("{name} row {i}"),
+                    });
+                }
+            }
+        };
+        check_table("region_feats", &self.region_feats, &mut issues);
+        check_table("adaption_feats", &self.adaption_feats, &mut issues);
+        check_table("hetero.s_feat", &self.hetero.s_feat, &mut issues);
+        check_table("hetero.u_feat", &self.hetero.u_feat, &mut issues);
+
+        for (i, e) in self.hetero.sa_edges.iter().enumerate() {
+            if ![e.competitiveness, e.complementarity, e.history]
+                .iter()
+                .all(|v| v.is_finite())
+            {
+                issues.push(TaskIssue::NonFiniteValue {
+                    what: format!("hetero.sa_edges[{i}]"),
+                });
+            }
+        }
+        for (p, edges) in self.hetero.su_edges.iter().enumerate() {
+            for (i, e) in edges.iter().enumerate() {
+                if !e.distance.is_finite() || !e.transactions.is_finite() {
+                    issues.push(TaskIssue::NonFiniteValue {
+                        what: format!("hetero.su_edges[{p}][{i}]"),
+                    });
+                }
+            }
+        }
+        for (p, edges) in self.hetero.ua_edges.iter().enumerate() {
+            for (i, e) in edges.iter().enumerate() {
+                if !e.transactions.is_finite() {
+                    issues.push(TaskIssue::NonFiniteValue {
+                        what: format!("hetero.ua_edges[{p}][{i}]"),
+                    });
+                }
+            }
+        }
+        for (i, &(_, _, w)) in self.geo.edges.iter().enumerate() {
+            if !w.is_finite() {
+                issues.push(TaskIssue::NonFiniteValue {
+                    what: format!("geo.edges[{i}]"),
+                });
+            }
+        }
+        for edges in &self.mobility.edges {
+            for e in edges {
+                if !e.minutes.is_finite() {
+                    issues.push(TaskIssue::NonFiniteValue {
+                        what: format!("mobility edge {} -> {}", e.from, e.to),
+                    });
+                }
+            }
+        }
+        for part in self.split.train.iter().chain(&self.split.test) {
+            if !part.norm.is_finite() {
+                issues.push(TaskIssue::NonFiniteValue {
+                    what: format!("split interaction ({}, {})", part.region, part.ty),
+                });
+            }
+        }
+
+        if self.split.train.is_empty() {
+            issues.push(TaskIssue::EmptySplit { part: "train" });
+        }
+        if self.split.test.is_empty() {
+            issues.push(TaskIssue::EmptySplit { part: "test" });
+        }
+
+        let mut has_sa = vec![false; self.hetero.num_s()];
+        for e in &self.hetero.sa_edges {
+            has_sa[e.s] = true;
+        }
+        for (node, &ok) in has_sa.iter().enumerate() {
+            if !ok {
+                issues.push(TaskIssue::IsolatedStoreNode { node });
+            }
+        }
+        issues
+    }
 }
 
 #[cfg(test)]
@@ -78,6 +208,41 @@ mod tests {
         assert_eq!(t.mobility.n_regions, t.n_regions);
         assert!(!t.split.test.is_empty());
         assert!(t.hetero.num_s() > 0);
+    }
+
+    #[test]
+    fn clean_task_validates_clean() {
+        let d = O2oDataset::generate(SimConfig::tiny(8));
+        let t = SiteRecTask::build(&d, 0.8, 1);
+        let issues = t.validate();
+        assert!(issues.is_empty(), "false positives: {issues:?}");
+    }
+
+    #[test]
+    fn injected_nan_feature_surfaces_as_task_issue() {
+        let mut t = {
+            let d = O2oDataset::generate(SimConfig::tiny(8));
+            SiteRecTask::build(&d, 0.8, 1)
+        };
+        t.region_feats[0][0] = f32::NAN;
+        t.hetero.sa_edges[0].history = f32::INFINITY;
+        let issues = t.validate();
+        assert!(issues.iter().any(
+            |i| matches!(i, TaskIssue::NonFiniteValue { what } if what.contains("region_feats"))
+        ));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TaskIssue::NonFiniteValue { what } if what.contains("sa_edges"))));
+    }
+
+    #[test]
+    fn empty_split_flagged() {
+        let d = O2oDataset::generate(SimConfig::tiny(8));
+        let mut t = SiteRecTask::build(&d, 0.8, 1);
+        t.split.test.clear();
+        assert!(t
+            .validate()
+            .contains(&TaskIssue::EmptySplit { part: "test" }));
     }
 
     #[test]

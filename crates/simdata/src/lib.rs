@@ -32,6 +32,7 @@ pub mod delivery;
 pub mod demand;
 mod orders;
 mod stores;
+pub mod validate;
 
 pub use city::{City, RegionClass, RegionProfile, NUM_POI_TYPES, POI_TYPE_NAMES};
 pub use config::SimConfig;
@@ -42,3 +43,4 @@ pub use orders::{CourierId, Order, OrderId};
 pub use stores::{
     build_store_types, place_stores, type_period_weight, Store, StoreId, StoreType, StoreTypeId,
 };
+pub use validate::{faults, DataIssue, RepairReport, ValidationReport};

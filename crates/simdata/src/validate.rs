@@ -1,0 +1,310 @@
+//! Structured dataset validation and seeded fault injection.
+//!
+//! A corrupt dataset fails in characteristic ways far downstream of the
+//! corruption: a NaN region feature surfaces as a NaN loss forty epochs in, a
+//! non-chronological order underflows `SimMinute::since`, an order-less store
+//! type produces an empty candidate pool (and an empty truth set) at ranking
+//! time. [`O2oDataset::validate`] checks for each class up front and returns
+//! structured [`DataIssue`] diagnostics; [`O2oDataset::repair`] removes the
+//! order-level corruptions that can be dropped without changing the task;
+//! [`faults`] injects each class deterministically so the degradation paths
+//! stay exercised by tests and CI.
+
+use crate::dataset::O2oDataset;
+use std::fmt;
+
+/// One structured validation finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataIssue {
+    /// A store type hosts stores but has zero orders anywhere: its candidate
+    /// pool ranks against an empty truth set.
+    EmptyCandidatePool {
+        /// Store-type index.
+        ty: usize,
+        /// Number of stores of that type.
+        stores: usize,
+    },
+    /// A non-finite value in the context features or an order record.
+    NonFiniteFeature {
+        /// Where the value sits (region/order + field).
+        what: String,
+    },
+    /// A store-bearing region no order touches (neither as store region nor
+    /// as customer region): it contributes nodes but no edges.
+    IsolatedRegion {
+        /// Region index.
+        region: usize,
+        /// Number of stores it hosts.
+        stores: usize,
+    },
+    /// An order whose timestamps do not satisfy the generator's invariants
+    /// `created <= accepted <= delivered` and `created <= pickup <=
+    /// delivered` (acceptance and pickup are mutually unordered: acceptance
+    /// jitter can land after a short pickup) — `SimMinute::since` underflows
+    /// on such records.
+    NonChronologicalOrder {
+        /// Order index.
+        order: usize,
+    },
+}
+
+impl DataIssue {
+    /// Short class label (stable; used by CI reports).
+    pub fn class(&self) -> &'static str {
+        match self {
+            DataIssue::EmptyCandidatePool { .. } => "empty-candidate-pool",
+            DataIssue::NonFiniteFeature { .. } => "non-finite-feature",
+            DataIssue::IsolatedRegion { .. } => "isolated-region",
+            DataIssue::NonChronologicalOrder { .. } => "non-chronological-order",
+        }
+    }
+}
+
+impl fmt::Display for DataIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataIssue::EmptyCandidatePool { ty, stores } => {
+                write!(f, "store type {ty} has {stores} store(s) but zero orders")
+            }
+            DataIssue::NonFiniteFeature { what } => write!(f, "non-finite value in {what}"),
+            DataIssue::IsolatedRegion { region, stores } => {
+                write!(
+                    f,
+                    "region {region} hosts {stores} store(s) but no order touches it"
+                )
+            }
+            DataIssue::NonChronologicalOrder { order } => {
+                write!(f, "order {order} has non-chronological timestamps")
+            }
+        }
+    }
+}
+
+/// The findings of one [`O2oDataset::validate`] pass.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// All findings, in deterministic scan order.
+    pub issues: Vec<DataIssue>,
+}
+
+impl ValidationReport {
+    /// True when no issue was found.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Findings of one class (see [`DataIssue::class`]).
+    pub fn of_class(&self, class: &str) -> Vec<&DataIssue> {
+        self.issues.iter().filter(|i| i.class() == class).collect()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.issues.is_empty() {
+            return write!(f, "dataset clean");
+        }
+        writeln!(f, "{} issue(s):", self.issues.len())?;
+        for i in &self.issues {
+            writeln!(f, "  [{}] {i}", i.class())?;
+        }
+        Ok(())
+    }
+}
+
+/// What [`O2oDataset::repair`] did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RepairReport {
+    /// Orders dropped (non-chronological or non-finite distance).
+    pub orders_dropped: usize,
+    /// Region-profile feature values reset to 0.
+    pub features_zeroed: usize,
+}
+
+impl O2oDataset {
+    /// Scan the dataset for the four corruption classes and return structured
+    /// diagnostics. A freshly [generated](O2oDataset::generate) dataset is
+    /// clean; anything else indicates upstream corruption and should be
+    /// [repaired](O2oDataset::repair) or rejected before graph construction.
+    pub fn validate(&self) -> ValidationReport {
+        let mut issues = Vec::new();
+
+        // Non-finite context features (region profiles).
+        for (r, p) in self.city.regions.iter().enumerate() {
+            for (name, v) in [
+                ("centrality", p.centrality),
+                ("commercial", p.commercial),
+                ("office_pop", p.office_pop),
+                ("residential_pop", p.residential_pop),
+            ] {
+                if !v.is_finite() {
+                    issues.push(DataIssue::NonFiniteFeature {
+                        what: format!("region {r} profile field {name}"),
+                    });
+                }
+            }
+        }
+
+        // Order-level checks: non-finite distance, non-chronological stamps.
+        for (i, o) in self.orders.iter().enumerate() {
+            if !o.distance_m.is_finite() {
+                issues.push(DataIssue::NonFiniteFeature {
+                    what: format!("order {i} distance_m"),
+                });
+            }
+            // Compare raw minutes: `SimMinute::since` itself underflows on
+            // exactly the records this check exists to catch.
+            let (c, a, p, d) = (o.created.0, o.accepted.0, o.pickup.0, o.delivered.0);
+            if !(c <= a && a <= d && c <= p && p <= d) {
+                issues.push(DataIssue::NonChronologicalOrder { order: i });
+            }
+        }
+
+        // Per-type order counts vs store counts (candidate pools).
+        let mut type_stores = vec![0usize; self.num_types()];
+        for s in &self.stores {
+            type_stores[s.ty.0] += 1;
+        }
+        let mut type_orders = vec![0usize; self.num_types()];
+        for o in &self.orders {
+            type_orders[o.ty.0] += 1;
+        }
+        for (ty, (&stores, &orders)) in type_stores.iter().zip(&type_orders).enumerate() {
+            if stores > 0 && orders == 0 {
+                issues.push(DataIssue::EmptyCandidatePool { ty, stores });
+            }
+        }
+
+        // Store-bearing regions no order touches.
+        let mut region_stores = vec![0usize; self.num_regions()];
+        for s in &self.stores {
+            region_stores[s.region.0] += 1;
+        }
+        let mut touched = vec![false; self.num_regions()];
+        for o in &self.orders {
+            touched[o.store_region.0] = true;
+            touched[o.customer_region.0] = true;
+        }
+        for (region, (&stores, &t)) in region_stores.iter().zip(&touched).enumerate() {
+            if stores > 0 && !t {
+                issues.push(DataIssue::IsolatedRegion { region, stores });
+            }
+        }
+
+        ValidationReport { issues }
+    }
+
+    /// Drop order records that are corrupt beyond use (non-chronological
+    /// timestamps, non-finite distance) and zero non-finite region features.
+    /// Structural issues (empty candidate pools, isolated regions) are left
+    /// for the graph builder's degradation paths. Returns what was done.
+    pub fn repair(&mut self) -> RepairReport {
+        let mut report = RepairReport::default();
+        for p in &mut self.city.regions {
+            for v in [
+                &mut p.centrality,
+                &mut p.commercial,
+                &mut p.office_pop,
+                &mut p.residential_pop,
+            ] {
+                if !v.is_finite() {
+                    *v = 0.0;
+                    report.features_zeroed += 1;
+                }
+            }
+        }
+        let before = self.orders.len();
+        self.orders.retain(|o| {
+            o.distance_m.is_finite()
+                && o.created.0 <= o.accepted.0
+                && o.accepted.0 <= o.delivered.0
+                && o.created.0 <= o.pickup.0
+                && o.pickup.0 <= o.delivered.0
+        });
+        report.orders_dropped = before - self.orders.len();
+        report
+    }
+}
+
+/// Deterministic corruption injectors — one per [`DataIssue`] class.
+///
+/// Each injector is a pure function of `(dataset, seed)`: the same seed picks
+/// the same victims, so fault-injection tests replay bit-identically.
+pub mod faults {
+    use super::O2oDataset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The four corruption classes [`super::O2oDataset::validate`] detects.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FaultClass {
+        /// Remove every order of one store-bearing type.
+        EmptyCandidatePool,
+        /// Poison region features and order distances with NaN.
+        NanFeature,
+        /// Remove every order touching one store-bearing region.
+        IsolatedRegion,
+        /// Swap creation/delivery timestamps on a sample of orders.
+        NonChronologicalOrders,
+    }
+
+    /// All classes, for exhaustive sweeps.
+    pub const ALL_CLASSES: [FaultClass; 4] = [
+        FaultClass::EmptyCandidatePool,
+        FaultClass::NanFeature,
+        FaultClass::IsolatedRegion,
+        FaultClass::NonChronologicalOrders,
+    ];
+
+    /// Inject `class` into `data`, deterministically in `seed`. Returns a
+    /// short description of what was corrupted (for test diagnostics).
+    pub fn inject(data: &mut O2oDataset, class: FaultClass, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match class {
+            FaultClass::EmptyCandidatePool => {
+                let mut has_store = vec![false; data.num_types()];
+                for s in &data.stores {
+                    has_store[s.ty.0] = true;
+                }
+                let candidates: Vec<usize> =
+                    (0..data.num_types()).filter(|&t| has_store[t]).collect();
+                let ty = candidates[rng.gen_range(0..candidates.len())];
+                data.orders.retain(|o| o.ty.0 != ty);
+                format!("removed all orders of store type {ty}")
+            }
+            FaultClass::NanFeature => {
+                let r = rng.gen_range(0..data.city.regions.len());
+                data.city.regions[r].commercial = f64::NAN;
+                let n = data.orders.len();
+                let poisoned = (n / 50).max(1);
+                for _ in 0..poisoned {
+                    let i = rng.gen_range(0..n);
+                    data.orders[i].distance_m = f64::NAN;
+                }
+                format!("NaN into region {r} commercial + up to {poisoned} order distances")
+            }
+            FaultClass::IsolatedRegion => {
+                let mut has_store = vec![false; data.num_regions()];
+                for s in &data.stores {
+                    has_store[s.region.0] = true;
+                }
+                let candidates: Vec<usize> =
+                    (0..data.num_regions()).filter(|&r| has_store[r]).collect();
+                let region = candidates[rng.gen_range(0..candidates.len())];
+                data.orders
+                    .retain(|o| o.store_region.0 != region && o.customer_region.0 != region);
+                format!("removed all orders touching region {region}")
+            }
+            FaultClass::NonChronologicalOrders => {
+                let n = data.orders.len();
+                let victims = (n / 100).max(1);
+                for _ in 0..victims {
+                    let i = rng.gen_range(0..n);
+                    let o = &mut data.orders[i];
+                    std::mem::swap(&mut o.created, &mut o.delivered);
+                }
+                format!("swapped created/delivered on up to {victims} orders")
+            }
+        }
+    }
+}

@@ -30,7 +30,9 @@ enum Op {
     /// Elementwise product.
     Mul(Var, Var),
     Scale(Var, f32),
-    AddScalar(Var, f32),
+    /// Shift by a scalar. The constant is not stored: d(x + c)/dx = 1, and a
+    /// non-finite `c` is recorded as a tape fault at op construction.
+    AddScalar(Var),
     MatMul(Var, Var),
     Transpose(Var),
     Relu(Var),
@@ -82,6 +84,8 @@ pub struct Graph {
     rng: StdRng,
     /// When false, [`Graph::dropout`] is the identity (evaluation mode).
     pub training: bool,
+    /// First non-finite event recorded on this tape (see [`Graph::fault`]).
+    fault: Option<String>,
 }
 
 impl Default for Graph {
@@ -104,6 +108,32 @@ impl Graph {
             grads: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             training: true,
+            fault: None,
+        }
+    }
+
+    /// First non-finite event recorded on this tape, if any.
+    ///
+    /// Non-finite *inputs* — parameter and constant leaves, scalar operands,
+    /// loss targets — are checked in every build; intermediate op outputs
+    /// are additionally checked when debug assertions are on. Training
+    /// guards poll this once per epoch (`TrainGuard::pre_step_fault`) so a
+    /// NaN surfaces as a structured `TrainError` instead of propagating
+    /// silently.
+    pub fn fault(&self) -> Option<&str> {
+        self.fault.as_deref()
+    }
+
+    fn note_fault(&mut self, what: impl FnOnce() -> String) {
+        if self.fault.is_none() {
+            self.fault = Some(what());
+        }
+    }
+
+    /// Record a fault if `t` contains a non-finite value (always on).
+    fn check_input(&mut self, what: &str, t: &Tensor) {
+        if t.has_non_finite() {
+            self.note_fault(|| format!("non-finite value in {what}"));
         }
     }
 
@@ -118,10 +148,11 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> Var {
-        debug_assert!(
-            !value.has_non_finite(),
-            "non-finite value produced by {op:?}"
-        );
+        // Full per-op output scan only when debug assertions are on (tests,
+        // CI); release builds rely on the always-on input/loss/grad checks.
+        if cfg!(debug_assertions) && self.fault.is_none() && value.has_non_finite() {
+            self.note_fault(|| format!("non-finite value produced by {op:?}"));
+        }
         self.nodes.push(Node {
             value,
             op,
@@ -137,11 +168,13 @@ impl Graph {
 
     /// Insert a differentiable leaf (parameter value).
     pub fn param(&mut self, value: Tensor) -> Var {
+        self.check_input("parameter leaf", &value);
         self.push(value, Op::Leaf, true)
     }
 
     /// Insert a non-differentiable constant.
     pub fn constant(&mut self, value: Tensor) -> Var {
+        self.check_input("constant leaf", &value);
         self.push(value, Op::Leaf, false)
     }
 
@@ -190,6 +223,9 @@ impl Graph {
 
     /// Multiply by a constant scalar.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        if !c.is_finite() {
+            self.note_fault(|| format!("non-finite scalar operand of scale: {c}"));
+        }
         let v = self.value(a).map(|x| x * c);
         let ng = self.needs(a);
         self.push(v, Op::Scale(a, c), ng)
@@ -197,9 +233,12 @@ impl Graph {
 
     /// Add a constant scalar to every element.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        if !c.is_finite() {
+            self.note_fault(|| format!("non-finite scalar operand of add_scalar: {c}"));
+        }
         let v = self.value(a).map(|x| x + c);
         let ng = self.needs(a);
-        self.push(v, Op::AddScalar(a, c), ng)
+        self.push(v, Op::AddScalar(a), ng)
     }
 
     /// Matrix product.
@@ -504,6 +543,7 @@ impl Graph {
 
     /// Mean squared error against a constant target, as a `1x1` scalar.
     pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Var {
+        self.check_input("mse_loss target", target);
         let pv = self.value(pred);
         assert_eq!(pv.shape(), target.shape(), "mse_loss shape mismatch");
         let n = pv.len() as f32;
@@ -520,6 +560,7 @@ impl Graph {
 
     /// Mean absolute error against a constant target, as a `1x1` scalar.
     pub fn l1_loss(&mut self, pred: Var, target: &Tensor) -> Var {
+        self.check_input("l1_loss target", target);
         let pv = self.value(pred);
         assert_eq!(pv.shape(), target.shape(), "l1_loss shape mismatch");
         let n = pv.len() as f32;
@@ -584,10 +625,7 @@ impl Graph {
                     self.accumulate(b, gb);
                 }
                 Op::Scale(a, c) => self.accumulate(a, g.map(|x| x * c)),
-                Op::AddScalar(a, c) => {
-                    debug_assert!(c.is_finite());
-                    self.accumulate(a, g);
-                }
+                Op::AddScalar(a) => self.accumulate(a, g),
                 Op::MatMul(a, b) => {
                     let ga = g.matmul(&self.value(b).transpose());
                     let gb = self.value(a).transpose().matmul(&g);

@@ -54,6 +54,7 @@ pub mod nn;
 pub mod optim;
 pub mod parallel;
 mod param;
+pub mod resilience;
 mod tensor;
 
 pub use gradcheck::{check_input_grad, GradCheck};
@@ -61,4 +62,5 @@ pub use graph::{Graph, Var};
 pub use init::Init;
 pub use parallel::ParallelConfig;
 pub use param::{Bindings, Param, ParamId, ParamStore};
+pub use resilience::{retry_seed, Fault, GuardConfig, RecoveryEvent, TrainError, TrainGuard};
 pub use tensor::Tensor;

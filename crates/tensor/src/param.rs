@@ -154,6 +154,23 @@ impl ParamStore {
         }
     }
 
+    /// Name of the first parameter whose gradient holds a NaN/inf, if any
+    /// (per-epoch health check of the training guards).
+    pub fn first_non_finite_grad(&self) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|p| p.grad.has_non_finite())
+            .map(|p| p.name.as_str())
+    }
+
+    /// Name of the first parameter whose value holds a NaN/inf, if any.
+    pub fn first_non_finite_value(&self) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|p| p.value.has_non_finite())
+            .map(|p| p.name.as_str())
+    }
+
     /// Global gradient L2 norm (diagnostic / clipping).
     pub fn grad_norm(&self) -> f32 {
         self.params

@@ -1,0 +1,108 @@
+//! Property-based invariants of [`ParamStore::clip_grad_norm`].
+//!
+//! Clipping is the last line of defense before the optimizer consumes a
+//! gradient, so its contract is load-bearing for the resilience layer:
+//! the returned value is the *pre-clip* global L2 norm, the post-clip norm
+//! never exceeds the threshold, and clipping only rescales — it must never
+//! rotate the gradient or manufacture NaNs.
+
+use proptest::prelude::*;
+use siterec_tensor::{Init, ParamStore, Tensor};
+
+/// Build a store with one parameter per gradient row and install the rows
+/// as the harvested gradients.
+fn store_with_grads(grads: &[Vec<f32>]) -> ParamStore {
+    let mut ps = ParamStore::new(1);
+    for (i, g) in grads.iter().enumerate() {
+        let id = ps.add(&format!("p{i}"), 1, g.len(), Init::Zeros);
+        ps.get_mut(id).grad = Tensor::from_vec(1, g.len(), g.clone());
+    }
+    ps
+}
+
+fn true_norm(grads: &[Vec<f32>]) -> f64 {
+    grads
+        .iter()
+        .flatten()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn grad_vecs() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-50.0f32..50.0, 1..6), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The return value is the exact pre-clip global L2 norm across all
+    /// parameters.
+    #[test]
+    fn returns_pre_clip_norm(grads in grad_vecs(), max_norm in 0.1f32..100.0) {
+        let mut ps = store_with_grads(&grads);
+        let pre = ps.clip_grad_norm(max_norm);
+        let expect = true_norm(&grads);
+        prop_assert!(
+            ((pre as f64) - expect).abs() <= 1e-3 * (1.0 + expect),
+            "pre {pre} vs true {expect}"
+        );
+    }
+
+    /// After clipping, the global norm never exceeds `max_norm` (up to f32
+    /// rounding).
+    #[test]
+    fn post_clip_norm_bounded(grads in grad_vecs(), max_norm in 0.1f32..100.0) {
+        let mut ps = store_with_grads(&grads);
+        ps.clip_grad_norm(max_norm);
+        prop_assert!(
+            ps.grad_norm() <= max_norm * (1.0 + 1e-4),
+            "post {} > max {max_norm}", ps.grad_norm()
+        );
+    }
+
+    /// Clipping preserves direction: every component is scaled by the same
+    /// non-negative factor, so component ratios (signs included) survive.
+    #[test]
+    fn clipping_preserves_direction(grads in grad_vecs(), max_norm in 0.1f32..10.0) {
+        let mut ps = store_with_grads(&grads);
+        let pre = ps.clip_grad_norm(max_norm);
+        let scale = if pre > max_norm { (max_norm / pre) as f64 } else { 1.0 };
+        for (param, before) in ps.iter().zip(&grads) {
+            for (&after, &b) in param.grad.data().iter().zip(before) {
+                let expect = (b as f64) * scale;
+                prop_assert!(
+                    ((after as f64) - expect).abs() <= 1e-4 * (1.0 + expect.abs()),
+                    "component {b} -> {after}, expected {expect}"
+                );
+            }
+        }
+    }
+
+    /// A gradient already inside the threshold is untouched bit-for-bit.
+    #[test]
+    fn within_threshold_is_identity(grads in grad_vecs()) {
+        let mut ps = store_with_grads(&grads);
+        let norm = ps.grad_norm();
+        ps.clip_grad_norm(norm + 1.0);
+        for (param, before) in ps.iter().zip(&grads) {
+            prop_assert_eq!(param.grad.data(), &before[..]);
+        }
+    }
+
+    /// Degenerate inputs never produce NaN: all-zero gradients with any
+    /// threshold, and a zero threshold with any gradients.
+    #[test]
+    fn degenerate_inputs_stay_finite(grads in grad_vecs(), max_norm in 0.0f32..10.0) {
+        let mut ps = store_with_grads(&grads);
+        let pre = ps.clip_grad_norm(max_norm);
+        prop_assert!(pre.is_finite());
+        prop_assert!(ps.first_non_finite_grad().is_none());
+
+        let zeros: Vec<Vec<f32>> = grads.iter().map(|g| vec![0.0; g.len()]).collect();
+        let mut ps0 = store_with_grads(&zeros);
+        let pre0 = ps0.clip_grad_norm(max_norm);
+        prop_assert_eq!(pre0, 0.0);
+        prop_assert!(ps0.first_non_finite_grad().is_none());
+    }
+}
