@@ -41,6 +41,12 @@ impl Baseline for CityTransfer {
     }
 
     fn fit(&mut self, task: &SiteRecTask) {
+        siterec_obs::olog!(
+            Debug,
+            "CityTransfer({:?}): fitting on {} train interactions",
+            self.setting,
+            task.split.train.len()
+        );
         let features = region_input_features(task, self.setting);
         let mut model = FactorModel::new(self.cfg.clone(), task.n_regions, task.n_types, features);
         let triples: Vec<(usize, usize, f32)> = task

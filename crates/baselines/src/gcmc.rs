@@ -124,6 +124,7 @@ impl Baseline for GcMc {
             n_a,
         };
         TrainLoop {
+            name: "GC-MC",
             epochs: self.epochs,
             seed: self.seed,
             ..Default::default()

@@ -2,11 +2,12 @@
 //! RGCN, HGT): featured node sets, mean/attention aggregation over flattened
 //! edge lists, and the Adam training loop.
 
+use siterec_obs as obs;
 use siterec_tensor::nn::{Embedding, Linear};
 use siterec_tensor::optim::{Adam, Optimizer};
 use siterec_tensor::{
-    retry_seed, Bindings, Graph, GuardConfig, Init, ParamId, ParamStore, RecoveryEvent, Tensor,
-    TrainError, TrainGuard, Var,
+    record_recovery, record_train_error, retry_seed, Bindings, Graph, GuardConfig, Init, ParamId,
+    ParamStore, RecoveryEvent, Tensor, TrainError, TrainGuard, Var,
 };
 
 /// A node set with ID embeddings and (optional) input features, fused by a
@@ -122,6 +123,8 @@ impl GatAggregator {
 /// Configuration of the shared Adam training loop.
 #[derive(Debug, Clone, Copy)]
 pub struct TrainLoop {
+    /// Model name reported in telemetry spans / journal records.
+    pub name: &'static str,
     /// Full-batch epochs.
     pub epochs: usize,
     /// Learning rate.
@@ -135,6 +138,7 @@ pub struct TrainLoop {
 impl Default for TrainLoop {
     fn default() -> Self {
         TrainLoop {
+            name: "baseline",
             epochs: 60,
             lr: 5e-3,
             grad_clip: 5.0,
@@ -178,6 +182,12 @@ impl TrainLoop {
         ps: &mut ParamStore,
         mut step: impl FnMut(&mut Graph, &Bindings) -> Var,
     ) -> Result<TrainTrace, TrainError> {
+        let _span = obs::span!(
+            "train",
+            model = self.name,
+            seed = self.seed,
+            epochs = self.epochs,
+        );
         let mut opt = Adam::new(self.lr);
         let mut guard = TrainGuard::new(guard_cfg, ps, &opt);
         let mut losses = Vec::with_capacity(self.epochs);
@@ -189,7 +199,18 @@ impl TrainLoop {
             let loss = step(&mut g, &binds);
             let loss_v = g.value(loss).item();
             if let Some(fault) = guard.pre_step_fault(&g, loss_v) {
-                epoch = guard.recover(epoch, fault, ps, &mut opt)?;
+                match guard.recover(epoch, fault, ps, &mut opt) {
+                    Ok(resume) => {
+                        if let Some(ev) = guard.events().last() {
+                            record_recovery(self.name, self.seed, guard.attempt(resume), ev);
+                        }
+                        epoch = resume;
+                    }
+                    Err(e) => {
+                        record_train_error(self.name, self.seed, &e);
+                        return Err(e);
+                    }
+                }
                 losses.truncate(epoch);
                 continue;
             }
@@ -197,7 +218,18 @@ impl TrainLoop {
             ps.zero_grads();
             ps.harvest(&g, &binds);
             if let Some(fault) = guard.grad_fault(ps) {
-                epoch = guard.recover(epoch, fault, ps, &mut opt)?;
+                match guard.recover(epoch, fault, ps, &mut opt) {
+                    Ok(resume) => {
+                        if let Some(ev) = guard.events().last() {
+                            record_recovery(self.name, self.seed, guard.attempt(resume), ev);
+                        }
+                        epoch = resume;
+                    }
+                    Err(e) => {
+                        record_train_error(self.name, self.seed, &e);
+                        return Err(e);
+                    }
+                }
                 losses.truncate(epoch);
                 continue;
             }
@@ -206,6 +238,13 @@ impl TrainLoop {
             }
             opt.step(ps);
             guard.commit(epoch, loss_v, ps, &opt);
+            obs::record!(
+                "train_epoch",
+                model = self.name,
+                epoch = epoch,
+                loss = loss_v,
+            );
+            obs::hist_record("train.loss", loss_v as f64);
             losses.push(loss_v);
             epoch += 1;
         }

@@ -172,6 +172,7 @@ impl Baseline for GraphRec {
             n_a,
         };
         TrainLoop {
+            name: "GraphRec",
             epochs: self.epochs,
             seed: self.seed,
             ..Default::default()

@@ -300,6 +300,7 @@ impl Baseline for Hgt {
             n_a,
         };
         TrainLoop {
+            name: "HGT",
             epochs: self.epochs,
             seed: self.seed,
             ..Default::default()

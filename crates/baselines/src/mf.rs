@@ -97,6 +97,12 @@ impl FactorModel {
     /// Train by SGD on `(region, type, target)` triples; `geo_neighbors[r]`
     /// lists regions pulled toward `r` by the geographic regularizer.
     pub fn fit(&mut self, triples: &[(usize, usize, f32)], geo_neighbors: &[Vec<usize>]) {
+        let _span = siterec_obs::span!(
+            "train",
+            model = "FactorModel",
+            seed = self.cfg.seed,
+            epochs = self.cfg.epochs,
+        );
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xF17);
         let mut order: Vec<usize> = (0..triples.len()).collect();
         self.mu = triples.iter().map(|t| t.2).sum::<f32>() / triples.len().max(1) as f32;
@@ -131,6 +137,13 @@ impl FactorModel {
                 }
             }
         }
+        siterec_obs::olog!(
+            Debug,
+            "factor model trained: {} triples, {} epochs, train rmse {:.4}",
+            triples.len(),
+            self.cfg.epochs,
+            self.train_rmse(triples)
+        );
     }
 
     /// Training RMSE over triples (diagnostic).

@@ -178,6 +178,7 @@ impl Baseline for Rgcn {
             n_a,
         };
         TrainLoop {
+            name: "RGCN",
             epochs: self.epochs,
             seed: self.seed,
             // RGCN's unnormalized relation sums are the least stable of the

@@ -12,7 +12,7 @@ use siterec_core::Variant;
 use siterec_eval::Table;
 use std::time::Instant;
 
-fn main() {
+fn run() {
     let t0 = Instant::now();
     println!("=== Fig. 10: impact of courier capacity and customer preferences ===\n");
     let ctx = real_world_or_smoke(0);
@@ -75,4 +75,8 @@ fn main() {
          hurts the full model — is the checked shape."
     );
     println!("total wall time: {:?}", t0.elapsed());
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("fig10_ablation_capacity", run);
 }

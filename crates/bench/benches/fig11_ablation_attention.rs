@@ -13,7 +13,7 @@ use siterec_core::Variant;
 use siterec_eval::Table;
 use std::time::Instant;
 
-fn main() {
+fn run() {
     let t0 = Instant::now();
     println!("=== Fig. 11: the effect of attention mechanisms ===\n");
     let ctx = real_world_or_smoke(0);
@@ -75,4 +75,8 @@ fn main() {
         }
     );
     println!("total wall time: {:?}", t0.elapsed());
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("fig11_ablation_attention", run);
 }

@@ -30,7 +30,7 @@ fn pick(per_type: &[TypeResult], ty: usize) -> Option<&TypeResult> {
     per_type.iter().find(|t| t.ty == ty)
 }
 
-fn main() {
+fn run() {
     let t0 = Instant::now();
     println!("=== Figs. 12-13: per-store-type NDCG@3 / Precision@3 ===\n");
     let ctx = real_world_or_smoke(0);
@@ -130,4 +130,8 @@ fn main() {
         }
     }
     println!("total wall time: {:?}", t0.elapsed());
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("fig12_13_store_types", run);
 }

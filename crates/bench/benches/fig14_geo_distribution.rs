@@ -13,7 +13,7 @@ use siterec_eval::{evaluate_subset, Table};
 use siterec_sim::RegionClass;
 use std::time::Instant;
 
-fn main() {
+fn run() {
     let t0 = Instant::now();
     println!("=== Fig. 14: impact of the geographic distribution of candidate regions ===\n");
     let ctx = real_world_or_smoke(0);
@@ -75,4 +75,8 @@ fn main() {
         }
     );
     println!("total wall time: {:?}", t0.elapsed());
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("fig14_geo_distribution", run);
 }

@@ -16,7 +16,7 @@ use siterec_core::{retry_seed, Variant};
 use siterec_eval::{harness_threads, run_jobs_resilient, RetryPolicy, Table};
 use std::time::Instant;
 
-fn main() {
+fn run() {
     let t0 = Instant::now();
     println!("=== Fig. 15: effect of different embedding sizes (d2) ===\n");
     let ctx = real_world_or_smoke(0);
@@ -79,4 +79,8 @@ fn main() {
         }
     );
     println!("total wall time: {:?}", t0.elapsed());
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("fig15_embedding_size", run);
 }

@@ -11,7 +11,7 @@ use siterec_core::Variant;
 use siterec_eval::Table;
 use std::time::Instant;
 
-fn main() {
+fn run() {
     let t0 = Instant::now();
     println!("=== Fig. 16: performance with different beta ===\n");
     let ctx = real_world_or_smoke(0);
@@ -43,4 +43,8 @@ fn main() {
         }
     );
     println!("total wall time: {:?}", t0.elapsed());
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("fig16_beta", run);
 }

@@ -9,7 +9,7 @@ use siterec_bench::context::real_world_or_smoke;
 use siterec_eval::Table;
 use siterec_geo::Slot2h;
 
-fn main() {
+fn run() {
     println!("=== Fig. 1: order and courier count / supply-demand ratio by 2-hour slot ===\n");
     let ctx = real_world_or_smoke(0);
     let data = &ctx.data;
@@ -46,4 +46,8 @@ fn main() {
             "MISMATCH"
         }
     );
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("fig1_supply_demand", run);
 }

@@ -9,7 +9,7 @@ use siterec_eval::stats::pearson;
 use siterec_eval::Table;
 use siterec_geo::Slot2h;
 
-fn main() {
+fn run() {
     println!("=== Fig. 2: delivery time vs supply-demand ratio by 2-hour slot ===\n");
     let ctx = real_world_or_smoke(0);
     let data = &ctx.data;
@@ -40,4 +40,8 @@ fn main() {
             "MISMATCH: expected a clear negative correlation"
         }
     );
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("fig2_delivery_time_ratio", run);
 }

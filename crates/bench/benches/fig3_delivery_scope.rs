@@ -8,7 +8,7 @@ use siterec_bench::context::real_world_or_smoke;
 use siterec_eval::Table;
 use siterec_geo::Period;
 
-fn main() {
+fn run() {
     println!("=== Fig. 3: average delivery scope by period ===\n");
     let ctx = real_world_or_smoke(0);
     // Cells need enough orders for the farthest distance to saturate the
@@ -36,4 +36,8 @@ fn main() {
             "MISMATCH"
         }
     );
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("fig3_delivery_scope", run);
 }

@@ -9,7 +9,7 @@ use siterec_bench::context::real_world_or_smoke;
 use siterec_eval::Table;
 use siterec_geo::Period;
 
-fn main() {
+fn run() {
     println!("=== Fig. 4: delivery-time distribution at 2.5-3.0 km, by period ===\n");
     let ctx = real_world_or_smoke(0);
     let bin = 10.0;
@@ -56,4 +56,8 @@ fn main() {
         "tail decay (40-50 min >= 60-70 min): {}",
         if tail_decays { "OK" } else { "MISMATCH" }
     );
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("fig4_time_distribution", run);
 }

@@ -8,7 +8,7 @@ use siterec_bench::context::real_world_or_smoke;
 use siterec_eval::Table;
 use siterec_geo::Period;
 
-fn main() {
+fn run() {
     println!("=== Fig. 5: top-3 popular store types per period ===\n");
     let ctx = real_world_or_smoke(0);
     let data = &ctx.data;
@@ -41,4 +41,8 @@ fn main() {
             "MISMATCH"
         }
     );
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("fig5_top_types", run);
 }

@@ -9,7 +9,7 @@
 //! Run with: `cargo bench -p siterec-bench --bench perf_parallel`
 //! (`SITEREC_SMOKE=1` shrinks the workloads to CI scale.)
 
-use siterec_bench::context::is_smoke;
+use siterec_bench::context::{is_smoke, write_artifact};
 use siterec_core::{O2SiteRec, ParallelConfig, SiteRecConfig};
 use siterec_eval::run_jobs;
 use siterec_graphs::SiteRecTask;
@@ -168,21 +168,17 @@ fn main() {
         );
     }
 
-    // Hand-rendered JSON: the serde_json dependency may be the offline stub,
-    // whose serializer is a placeholder (see vendor/stubs/README.md).
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"hardware\": {{ \"cores_available\": {cores} }},\n"
-    ));
-    json.push_str(&format!(
-        "  \"smoke\": {smoke},\n  \"threads\": [1, 2, 4, 8],\n  \"kernels\": [\n"
-    ));
+    // Body rendered by hand (the serde_json dependency may be the offline
+    // stub); host metadata and file placement come from the shared
+    // `write_artifact` helper so BENCH_parallel.json and BENCH_profile.json
+    // stay structurally consistent.
+    let mut body = String::from("  \"threads\": [1, 2, 4, 8],\n  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let secs: Vec<String> = r.secs.iter().map(|s| format!("{s:.6}")).collect();
         let sp: Vec<String> = (0..THREADS.len())
             .map(|j| format!("{:.3}", r.speedup(j)))
             .collect();
-        json.push_str(&format!(
+        body.push_str(&format!(
             "    {{ \"name\": \"{}\", \"median_secs\": [{}], \"speedup\": [{}] }}{}\n",
             r.name,
             secs.join(", "),
@@ -190,10 +186,9 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    body.push_str("  ]");
+    match write_artifact("BENCH_parallel.json", &body) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write BENCH_parallel.json: {e}"),
     }
 }

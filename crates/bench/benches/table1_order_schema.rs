@@ -6,7 +6,7 @@
 use siterec_bench::context::real_world_or_smoke;
 use siterec_eval::Table;
 
-fn main() {
+fn run() {
     println!("=== Table I: an example of order data (synthetic) ===\n");
     let ctx = real_world_or_smoke(0);
     let grid = &ctx.data.city.grid;
@@ -74,4 +74,8 @@ fn main() {
         ctx.data.stores.len(),
         ctx.data.num_types()
     );
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("table1_order_schema", run);
 }

@@ -12,7 +12,7 @@ use siterec_eval::stats::pearson;
 use siterec_eval::Table;
 use siterec_geo::RegionId;
 
-fn main() {
+fn run() {
     println!("=== Table II: correlation between customer preferences and orders ===\n");
     let ctx = real_world_or_smoke(0);
     let data = &ctx.data;
@@ -46,4 +46,8 @@ fn main() {
     println!(
         "paper values: 0.725  0.726  0.736  0.720  0.710 (strong correlation > 0.6 everywhere)"
     );
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("table2_pref_correlation", run);
 }

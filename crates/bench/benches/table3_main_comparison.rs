@@ -51,7 +51,7 @@ enum CellResult {
     O2(EvalResult),
 }
 
-fn main() {
+fn run() {
     let t0 = Instant::now();
     let rounds = rounds();
     println!("=== Table III: performance comparison on the real-world-like dataset ===");
@@ -125,8 +125,7 @@ fn main() {
                 CellResult::Hgt(res)
             }
             Cell::O2Round(round) => {
-                let cfg =
-                    default_model_config(Variant::Full, retry_seed(17 + round, attempt));
+                let cfg = default_model_config(Variant::Full, retry_seed(17 + round, attempt));
                 let (res, _) =
                     run_o2_checked(&ctxs[round as usize], cfg).unwrap_or_else(|e| panic!("{e}"));
                 eprintln!("  [{:?}] O2-SiteRec round {round} done", t0.elapsed());
@@ -248,4 +247,8 @@ fn main() {
         );
     }
     println!("total wall time: {:?}", t0.elapsed());
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("table3_main_comparison", run);
 }

@@ -20,7 +20,7 @@ fn rounds() -> u64 {
         .unwrap_or(3)
 }
 
-fn main() {
+fn run() {
     let t0 = Instant::now();
     let rounds = rounds();
     println!("=== Table IV: performance comparison on the simulation dataset ===");
@@ -107,4 +107,8 @@ fn main() {
     );
     println!("note: paper reports lower absolute numbers here than on the real-world data\n(noise + sparsity); the same degradation is expected in this reproduction.");
     println!("total wall time: {:?}", t0.elapsed());
+}
+
+fn main() {
+    siterec_bench::obs_run::obs_run("table4_simulation_data", run);
 }

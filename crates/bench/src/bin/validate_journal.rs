@@ -1,0 +1,34 @@
+//! Validate a JSONL run-journal against the `siterec-obs` schema.
+//!
+//! Usage: `validate_journal <journal.jsonl>`. Exits 0 and prints per-type
+//! line counts when the journal is schema-valid; exits 1 with the first
+//! offending line otherwise. Used by `ci.sh` to gate instrumented bench runs.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate_journal <journal.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_journal: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match siterec_obs::validate_journal(&text) {
+        Ok(stats) => {
+            println!("{path}: {} valid lines", stats.lines);
+            for (kind, n) in &stats.by_type {
+                println!("  {kind:<14} {n}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

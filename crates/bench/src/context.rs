@@ -62,3 +62,79 @@ pub fn open_sim_or_smoke(round: u64) -> Context {
         Context::open_sim(round)
     }
 }
+
+/// Host metadata stamped into every benchmark JSON artifact
+/// (`BENCH_parallel.json`, `BENCH_profile.json`), so numbers can be compared
+/// across machines and commits.
+#[derive(Debug, Clone)]
+pub struct HostMeta {
+    /// Cores available to the process.
+    pub cores: usize,
+    /// The harness-tier thread setting (`SITEREC_THREADS`), if set.
+    pub threads_env: Option<String>,
+    /// `git describe --always --dirty` output, if git is available.
+    pub git_describe: Option<String>,
+    /// Whether the workload was shrunk by `SITEREC_SMOKE=1`.
+    pub smoke: bool,
+}
+
+impl HostMeta {
+    /// Capture the current host state.
+    pub fn capture() -> HostMeta {
+        let git_describe = std::process::Command::new("git")
+            .args(["describe", "--always", "--dirty"])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .filter(|s| !s.is_empty());
+        HostMeta {
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads_env: std::env::var("SITEREC_THREADS").ok(),
+            git_describe,
+            smoke: is_smoke(),
+        }
+    }
+
+    /// Render as the `"host"` JSON object fragment of an artifact.
+    fn to_json(&self) -> String {
+        let mut out = String::from("{ \"cores_available\": ");
+        out.push_str(&self.cores.to_string());
+        out.push_str(", \"siterec_threads\": ");
+        match &self.threads_env {
+            Some(t) => siterec_obs::json::write_escaped(&mut out, t),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"git_describe\": ");
+        match &self.git_describe {
+            Some(d) => siterec_obs::json::write_escaped(&mut out, d),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"smoke\": ");
+        out.push_str(if self.smoke { "true" } else { "false" });
+        out.push_str(" }");
+        out
+    }
+}
+
+/// Write a benchmark artifact to `<repo root>/<file_name>`: a JSON object
+/// whose first member is the captured [`HostMeta`] under `"host"`, followed
+/// by `body` — already-serialized JSON members (`"key": value, ...` without
+/// the surrounding braces). Shared by the `BENCH_parallel.json` and
+/// `BENCH_profile.json` writers so host metadata stays consistent.
+///
+/// Returns the path written.
+pub fn write_artifact(file_name: &str, body: &str) -> std::io::Result<std::path::PathBuf> {
+    let meta = HostMeta::capture();
+    let mut json = String::from("{\n  \"host\": ");
+    json.push_str(&meta.to_json());
+    json.push_str(",\n");
+    json.push_str(body);
+    json.push_str("\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file_name);
+    std::fs::write(&path, &json)?;
+    Ok(path)
+}

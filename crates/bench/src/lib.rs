@@ -8,4 +8,5 @@
 #![warn(missing_docs)]
 
 pub mod context;
+pub mod obs_run;
 pub mod runners;

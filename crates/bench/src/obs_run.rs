@@ -1,0 +1,92 @@
+//! Observability wrapper for the experiment bench binaries.
+//!
+//! Every `benches/<id>.rs` target wraps its body in [`obs_run`], which
+//! brackets the run with `run_start`/`run_end` journal records, writes the
+//! JSONL run-journal when `SITEREC_JOURNAL` is set, emits the
+//! `BENCH_profile.json` artifact (per-model / per-stage span timing plus the
+//! top-k tensor-op profile) whenever the recorder is enabled, and prints the
+//! human-readable summary at `SITEREC_LOG=summary` or above.
+//!
+//! The wrapper never touches stdout — bench tables keep their format — and
+//! is a near-no-op when the recorder is disabled.
+
+use crate::context::write_artifact;
+use siterec_obs as obs;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Run a bench body under the observability bracket (see module docs).
+pub fn obs_run<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    if !obs::enabled() {
+        return f();
+    }
+    obs::reset();
+    obs::record!("run_start", name = name);
+    let t0 = Instant::now();
+    let out = f();
+    obs::record!(
+        "run_end",
+        name = name,
+        dur_ns = t0.elapsed().as_nanos() as u64
+    );
+
+    if let Some(path) = obs::journal_path() {
+        match obs::write_journal(path) {
+            Ok(lines) => eprintln!("[siterec] journal: {lines} lines -> {}", path.display()),
+            Err(e) => eprintln!("[siterec] could not write journal {}: {e}", path.display()),
+        }
+    }
+    match write_artifact("BENCH_profile.json", &profile_body(name)) {
+        Ok(path) => eprintln!("[siterec] profile -> {}", path.display()),
+        Err(e) => eprintln!("[siterec] could not write BENCH_profile.json: {e}"),
+    }
+    if obs::log_enabled(obs::LogLevel::Summary) {
+        eprint!("{}", obs::summary());
+    }
+    out
+}
+
+/// Render the `BENCH_profile.json` body (everything after the shared
+/// `"host"` member): run name, per-stage / per-model span aggregates, the
+/// top tensor ops, and counters.
+fn profile_body(name: &str) -> String {
+    let snap = obs::snapshot();
+    let mut body = String::new();
+    body.push_str("  \"run\": ");
+    obs::json::write_escaped(&mut body, name);
+    body.push_str(",\n  \"spans\": [\n");
+    for (i, (key, agg)) in snap.spans.iter().enumerate() {
+        body.push_str("    { \"name\": ");
+        obs::json::write_escaped(&mut body, key);
+        let _ = writeln!(
+            body,
+            ", \"count\": {}, \"total_secs\": {:.6} }}{}",
+            agg.count,
+            agg.total_ns as f64 / 1e9,
+            if i + 1 < snap.spans.len() { "," } else { "" }
+        );
+    }
+    body.push_str("  ],\n  \"top_ops\": [\n");
+    let top = snap.top_ops(16);
+    for (i, (kind, op)) in top.iter().enumerate() {
+        body.push_str("    { \"op\": ");
+        obs::json::write_escaped(&mut body, kind);
+        let _ = writeln!(
+            body,
+            ", \"calls\": {}, \"forward_secs\": {:.6}, \"backward_secs\": {:.6}, \"elements\": {} }}{}",
+            op.calls,
+            op.forward_ns as f64 / 1e9,
+            op.backward_ns as f64 / 1e9,
+            op.elements,
+            if i + 1 < top.len() { "," } else { "" }
+        );
+    }
+    body.push_str("  ],\n  \"counters\": {");
+    for (i, (k, v)) in snap.counters.iter().enumerate() {
+        body.push_str(if i == 0 { " " } else { ", " });
+        obs::json::write_escaped(&mut body, k);
+        let _ = write!(body, ": {v}");
+    }
+    body.push_str(" }");
+    body
+}

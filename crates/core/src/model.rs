@@ -6,11 +6,16 @@ use crate::capacity::CapacityModel;
 use crate::config::{SiteRecConfig, Variant};
 use crate::recommend::HeteroModel;
 use siterec_graphs::{HeteroGraph, SiteRecTask};
+use siterec_obs as obs;
 use siterec_sim::O2oDataset;
 use siterec_tensor::optim::{Adam, Optimizer};
 use siterec_tensor::{
-    retry_seed, Bindings, Graph, ParamStore, RecoveryEvent, Tensor, TrainError, TrainGuard, Var,
+    record_recovery, record_train_error, retry_seed, Bindings, Graph, ParamStore, RecoveryEvent,
+    Tensor, TrainError, TrainGuard, Var,
 };
+
+/// Model name used in journal records (spans, `train_epoch`, `recovery`).
+const MODEL_NAME: &str = "O2-SiteRec";
 
 /// Loss trace of one training epoch.
 #[derive(Debug, Clone, Copy)]
@@ -164,6 +169,13 @@ impl O2SiteRec {
     /// surfaces as a [`TrainError`]. Healthy runs are bit-identical to the
     /// historical unguarded loop.
     pub fn try_train(&mut self) -> Result<&[TrainEpoch], TrainError> {
+        let _span = obs::span!(
+            "train",
+            model = MODEL_NAME,
+            variant = format!("{:?}", self.cfg.variant),
+            seed = self.cfg.seed,
+            epochs = self.cfg.epochs,
+        );
         let mut opt = Adam::new(self.cfg.lr);
         let mut guard = TrainGuard::new(self.cfg.guard, &self.ps, &opt);
         let mut epoch = 0;
@@ -176,11 +188,15 @@ impl O2SiteRec {
             if let Some(fault) = guard.pre_step_fault(&g, loss_v) {
                 match guard.recover(epoch, fault, &mut self.ps, &mut opt) {
                     Ok(resume) => {
+                        if let Some(ev) = guard.events().last() {
+                            record_recovery(MODEL_NAME, self.cfg.seed, guard.attempt(resume), ev);
+                        }
                         self.history.truncate(resume);
                         epoch = resume;
                         continue;
                     }
                     Err(e) => {
+                        record_train_error(MODEL_NAME, self.cfg.seed, &e);
                         self.recoveries = guard.into_events();
                         return Err(e);
                     }
@@ -199,11 +215,15 @@ impl O2SiteRec {
             if let Some(fault) = guard.grad_fault(&self.ps) {
                 match guard.recover(epoch, fault, &mut self.ps, &mut opt) {
                     Ok(resume) => {
+                        if let Some(ev) = guard.events().last() {
+                            record_recovery(MODEL_NAME, self.cfg.seed, guard.attempt(resume), ev);
+                        }
                         self.history.truncate(resume);
                         epoch = resume;
                         continue;
                     }
                     Err(e) => {
+                        record_train_error(MODEL_NAME, self.cfg.seed, &e);
                         self.recoveries = guard.into_events();
                         return Err(e);
                     }
@@ -214,6 +234,16 @@ impl O2SiteRec {
             }
             opt.step(&mut self.ps);
             guard.commit(epoch, loss_v, &self.ps, &opt);
+            obs::record!(
+                "train_epoch",
+                model = MODEL_NAME,
+                epoch = rec.epoch,
+                loss = rec.loss,
+                o2 = rec.o2,
+                o1 = rec.o1,
+                recoveries = rec.recoveries,
+            );
+            obs::hist_record("train.loss", rec.loss as f64);
             self.history.push(rec);
             epoch += 1;
         }

@@ -12,6 +12,15 @@
 use siterec_core::{GuardConfig, O2SiteRec, ParallelConfig, RecoveryEvent, SiteRecConfig, Variant};
 use siterec_graphs::SiteRecTask;
 use siterec_sim::{faults, O2oDataset, SimConfig};
+use std::sync::Mutex;
+
+// The recorder is process-global; the test that turns it on must not
+// interleave with other training tests in this binary.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn unstable_cfg() -> SiteRecConfig {
     SiteRecConfig {
@@ -55,6 +64,7 @@ fn train_once(
 
 #[test]
 fn fault_injected_dataset_detect_repair_recover_deterministically() {
+    let _l = obs_lock();
     let mut data = O2oDataset::generate(SimConfig::tiny(31));
     let what = faults::inject(&mut data, faults::FaultClass::NanFeature, 5);
 
@@ -106,10 +116,48 @@ fn fault_injected_dataset_detect_repair_recover_deterministically() {
     let (losses4, trace4) = train_once(&data, &task, 4);
     assert_eq!(losses, losses4, "loss history varies with thread count");
     assert_eq!(trace, trace4, "recovery trace varies with thread count");
+
+    // ...and with the observability recorder fully enabled (journal records,
+    // metrics and per-op tape profiling): instrumentation must only observe.
+    siterec_obs::reset();
+    siterec_obs::set_enabled(true);
+    siterec_obs::set_profiling(true);
+    let (losses_obs, trace_obs) = train_once(&data, &task, 1);
+    let snap = siterec_obs::snapshot();
+    siterec_obs::set_enabled(false);
+    siterec_obs::set_profiling(false);
+    siterec_obs::reset();
+    assert_eq!(losses, losses_obs, "loss history varies with recorder on");
+    assert_eq!(trace, trace_obs, "recovery trace varies with recorder on");
+    // The instrumented run journaled its recovery story: one `recovery`
+    // record per guard event, each carrying the seed/epoch/attempt context
+    // needed to re-run the cell standalone.
+    assert!(
+        snap.records >= trace.len(),
+        "expected >= {} journal records, saw {}",
+        trace.len(),
+        snap.records
+    );
+    let journal = {
+        siterec_obs::set_enabled(true);
+        siterec_obs::reset();
+        let _ = train_once(&data, &task, 1);
+        let text = siterec_obs::journal_to_string();
+        siterec_obs::set_enabled(false);
+        siterec_obs::reset();
+        text
+    };
+    let stats = siterec_obs::validate_journal(&journal).expect("journal must be schema-valid");
+    assert_eq!(stats.count("recovery"), trace.len());
+    // One record per *committed* epoch attempt: rolled-back epochs are
+    // re-committed after recovery, so the journal holds at least one line
+    // per surviving epoch and possibly more.
+    assert!(stats.count("train_epoch") >= losses.len());
 }
 
 #[test]
 fn nan_task_features_fail_with_structured_error() {
+    let _l = obs_lock();
     // NaN region-profile fields and order distances never reach the tape —
     // `region_features` reads POI/road counts only, and the S-U scope rule
     // consumes order distances through comparisons (NaN compares false, so

@@ -17,6 +17,7 @@
 //! compose, but on small machines prefer one tier at a time — fanned-out
 //! jobs each training a model already keep every core busy.
 
+use siterec_obs as obs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -36,7 +37,14 @@ where
 {
     let threads = threads.clamp(1, inputs.len().max(1));
     if threads == 1 {
-        return inputs.iter().map(&f).collect();
+        return inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| {
+                let _s = obs::span!("eval_job", index = i);
+                f(input)
+            })
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
@@ -50,7 +58,10 @@ where
                 if i >= inputs.len() {
                     break;
                 }
-                let r = f(&inputs[i]);
+                let r = {
+                    let _s = obs::span!("eval_job", index = i);
+                    f(&inputs[i])
+                };
                 if tx.send((i, r)).is_err() {
                     break;
                 }
@@ -123,11 +134,25 @@ where
     let attempts = policy.max_retries + 1;
     let mut last = String::new();
     for attempt in 0..attempts {
-        match catch_unwind(AssertUnwindSafe(|| f(input, attempt))) {
+        let span = obs::span!("eval_job", index = index, attempt = attempt);
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(input, attempt)));
+        drop(span);
+        match outcome {
             Ok(r) => return Ok(r),
-            Err(p) => last = panic_message(p),
+            Err(p) => {
+                last = panic_message(p);
+                if attempt + 1 < attempts {
+                    obs::counter_add("eval.job_retries", 1);
+                }
+            }
         }
     }
+    obs::record!(
+        "job_failure",
+        index = index,
+        attempts = attempts,
+        message = last.clone(),
+    );
     Err(JobFailure {
         index,
         attempts,

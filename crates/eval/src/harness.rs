@@ -70,6 +70,8 @@ pub fn evaluate_with_types(
     split: &Split,
     predict: impl FnOnce(&[(usize, usize)]) -> Vec<f32>,
 ) -> (EvalResult, Vec<TypeResult>) {
+    use siterec_obs as obs;
+    let _span = obs::span!("eval.evaluate", test_pairs = split.test.len());
     let pairs: Vec<(usize, usize)> = split.test.iter().map(|i| (i.region, i.ty)).collect();
     let preds = predict(&pairs);
     assert_eq!(preds.len(), pairs.len(), "prediction arity mismatch");
@@ -121,6 +123,16 @@ pub fn evaluate_with_types(
         acc.precision5 /= n;
         acc.precision10 /= n;
     }
+    obs::hist_record("eval.ndcg3", acc.ndcg3);
+    obs::hist_record("eval.rmse", acc.rmse);
+    obs::olog!(
+        Debug,
+        "eval: {} types, ndcg@3={:.4} p@3={:.4} rmse={:.4}",
+        acc.types_evaluated,
+        acc.ndcg3,
+        acc.precision3,
+        acc.rmse
+    );
     (acc, per_type)
 }
 

@@ -54,6 +54,12 @@ impl Split {
         all.shuffle(&mut rng);
         let n_train = ((all.len() as f64) * train_frac).round() as usize;
         let test = all.split_off(n_train.min(all.len()));
+        siterec_obs::olog!(
+            Debug,
+            "split: {} train / {} test interactions (seed {seed})",
+            all.len(),
+            test.len()
+        );
         Split {
             train: all,
             test,

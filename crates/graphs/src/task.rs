@@ -78,13 +78,33 @@ impl fmt::Display for TaskIssue {
 impl SiteRecTask {
     /// Build the task from a dataset with the default graph parameters.
     pub fn build(data: &O2oDataset, train_frac: f64, split_seed: u64) -> SiteRecTask {
-        let split = Split::new(data, train_frac, split_seed);
+        use siterec_obs as obs;
+        let _span = obs::span!("graphs.build_task", split_seed = split_seed);
+        let split = {
+            let _s = obs::span!("graphs.split");
+            Split::new(data, train_frac, split_seed)
+        };
         let mask = split.train_order_mask(data);
-        let hetero = HeteroGraph::build(data, &split, &HeteroParams::default());
-        let geo = GeoGraph::build(&data.city.grid, GEO_THRESHOLD_M);
-        let mobility = MobilityGraph::build(data, MOBILITY_MIN_ORDERS);
-        let region_feats = region_features(data);
-        let adaption_feats = adaption_features(data, ADAPTION_PREF_RADIUS_M, Some(&mask));
+        let hetero = {
+            let _s = obs::span!("graphs.hetero");
+            HeteroGraph::build(data, &split, &HeteroParams::default())
+        };
+        let geo = {
+            let _s = obs::span!("graphs.geo");
+            GeoGraph::build(&data.city.grid, GEO_THRESHOLD_M)
+        };
+        let mobility = {
+            let _s = obs::span!("graphs.mobility");
+            MobilityGraph::build(data, MOBILITY_MIN_ORDERS)
+        };
+        let region_feats = {
+            let _s = obs::span!("graphs.region_features");
+            region_features(data)
+        };
+        let adaption_feats = {
+            let _s = obs::span!("graphs.adaption_features");
+            adaption_features(data, ADAPTION_PREF_RADIUS_M, Some(&mask))
+        };
         SiteRecTask {
             n_regions: data.num_regions(),
             n_types: data.num_types(),

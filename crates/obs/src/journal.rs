@@ -1,0 +1,276 @@
+//! The JSONL run-journal: serialization of buffered records plus the
+//! end-of-run metric summary, and schema validation for written journals.
+//!
+//! # Journal schema
+//!
+//! Every line is one JSON object with a `"type"` field. Known types and
+//! their required fields (extra fields are always allowed):
+//!
+//! | type          | required fields                                              |
+//! |---------------|--------------------------------------------------------------|
+//! | `run_start`   | `name` (str)                                                 |
+//! | `run_end`     | `name` (str), `dur_ns` (num)                                 |
+//! | `span`        | `name` (str), `path` (str), `dur_ns` (num)                   |
+//! | `event`       | `name` (str)                                                 |
+//! | `counter`     | `name` (str), `value` (num)                                  |
+//! | `gauge`       | `name` (str), `value` (num or str for non-finite)            |
+//! | `histogram`   | `name` (str), `count`, `sum`, `min`, `max`, `buckets` (arr)  |
+//! | `op_profile`  | `op` (str), `calls`, `forward_ns`, `backward_ns`, `elements` |
+//! | `train_epoch` | `model` (str), `epoch` (num), `loss` (num or str)            |
+//! | `recovery`    | `model` (str), `seed`, `epoch`, `attempt` (num), `fault` (str), `lr_before`, `lr_after` (num or str) |
+//! | `train_error` | `model` (str), `epoch` (num), `fault` (str)                  |
+//! | `job_failure` | `index` (num), `attempts` (num), `message` (str)             |
+//!
+//! Unknown types fail validation: the schema is closed so that a typo in an
+//! emitting call site is caught by CI rather than silently ignored.
+
+use crate::json::{self, Json};
+use crate::recorder::{self, Record, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Serialize the current recorder state as JSONL: all buffered records in
+/// order, followed by one `counter`/`gauge`/`histogram`/`op_profile` line
+/// per aggregate.
+pub fn journal_to_string() -> String {
+    let g = recorder::inner();
+    let mut out = String::new();
+    for rec in &g.records {
+        out.push_str(&rec.to_json());
+        out.push('\n');
+    }
+    for (name, v) in &g.counters {
+        let rec = Record {
+            kind: "counter",
+            fields: vec![
+                ("name", Value::Str(name.to_string())),
+                ("value", Value::UInt(*v)),
+            ],
+        };
+        out.push_str(&rec.to_json());
+        out.push('\n');
+    }
+    for (name, v) in &g.gauges {
+        let rec = Record {
+            kind: "gauge",
+            fields: vec![
+                ("name", Value::Str(name.to_string())),
+                ("value", Value::Float(*v)),
+            ],
+        };
+        out.push_str(&rec.to_json());
+        out.push('\n');
+    }
+    for (name, h) in &g.hists {
+        // `buckets` is a flat array of [bucket_index, count] pairs; it is
+        // hand-rendered here because Record fields are scalar-only.
+        let mut line = String::new();
+        line.push_str("{\"type\":\"histogram\",\"name\":");
+        json::write_escaped(&mut line, name);
+        let _ = write!(line, ",\"count\":{}", h.count());
+        line.push_str(",\"sum\":");
+        json::write_f64(&mut line, h.sum());
+        line.push_str(",\"min\":");
+        json::write_f64(&mut line, if h.count() == 0 { 0.0 } else { h.min() });
+        line.push_str(",\"max\":");
+        json::write_f64(&mut line, if h.count() == 0 { 0.0 } else { h.max() });
+        line.push_str(",\"buckets\":[");
+        for (i, (bucket, count)) in h.nonzero_buckets().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "[{bucket},{count}]");
+        }
+        line.push_str("]}");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    for (kind, op) in &g.ops {
+        let rec = Record {
+            kind: "op_profile",
+            fields: vec![
+                ("op", Value::Str(kind.to_string())),
+                ("calls", Value::UInt(op.calls)),
+                ("forward_ns", Value::UInt(op.forward_ns)),
+                ("backward_ns", Value::UInt(op.backward_ns)),
+                ("elements", Value::UInt(op.elements)),
+            ],
+        };
+        out.push_str(&rec.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Write the journal (see [`journal_to_string`]) to `path`, returning the
+/// number of lines written.
+pub fn write_journal(path: &Path) -> io::Result<usize> {
+    let text = journal_to_string();
+    std::fs::write(path, &text)?;
+    Ok(text.lines().count())
+}
+
+/// Per-type line counts from a validated journal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Number of valid lines per record type.
+    pub by_type: BTreeMap<String, usize>,
+    /// Total number of lines.
+    pub lines: usize,
+}
+
+impl JournalStats {
+    /// The number of records of the given type.
+    pub fn count(&self, kind: &str) -> usize {
+        self.by_type.get(kind).copied().unwrap_or(0)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Str,
+    Num,
+    /// Number, or string for values JSON cannot represent (NaN/inf).
+    NumOrStr,
+    Arr,
+}
+
+impl Kind {
+    fn matches(self, v: &Json) -> bool {
+        match self {
+            Kind::Str => matches!(v, Json::Str(_)),
+            Kind::Num => matches!(v, Json::Num(_)),
+            Kind::NumOrStr => matches!(v, Json::Num(_) | Json::Str(_)),
+            Kind::Arr => matches!(v, Json::Arr(_)),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Str => "string",
+            Kind::Num => "number",
+            Kind::NumOrStr => "number-or-string",
+            Kind::Arr => "array",
+        }
+    }
+}
+
+const SCHEMA: &[(&str, &[(&str, Kind)])] = &[
+    ("run_start", &[("name", Kind::Str)]),
+    ("run_end", &[("name", Kind::Str), ("dur_ns", Kind::Num)]),
+    (
+        "span",
+        &[
+            ("name", Kind::Str),
+            ("path", Kind::Str),
+            ("dur_ns", Kind::Num),
+        ],
+    ),
+    ("event", &[("name", Kind::Str)]),
+    ("counter", &[("name", Kind::Str), ("value", Kind::Num)]),
+    ("gauge", &[("name", Kind::Str), ("value", Kind::NumOrStr)]),
+    (
+        "histogram",
+        &[
+            ("name", Kind::Str),
+            ("count", Kind::Num),
+            ("sum", Kind::NumOrStr),
+            ("min", Kind::NumOrStr),
+            ("max", Kind::NumOrStr),
+            ("buckets", Kind::Arr),
+        ],
+    ),
+    (
+        "op_profile",
+        &[
+            ("op", Kind::Str),
+            ("calls", Kind::Num),
+            ("forward_ns", Kind::Num),
+            ("backward_ns", Kind::Num),
+            ("elements", Kind::Num),
+        ],
+    ),
+    (
+        "train_epoch",
+        &[
+            ("model", Kind::Str),
+            ("epoch", Kind::Num),
+            ("loss", Kind::NumOrStr),
+        ],
+    ),
+    (
+        "recovery",
+        &[
+            ("model", Kind::Str),
+            ("seed", Kind::Num),
+            ("epoch", Kind::Num),
+            ("attempt", Kind::Num),
+            ("fault", Kind::Str),
+            ("lr_before", Kind::NumOrStr),
+            ("lr_after", Kind::NumOrStr),
+        ],
+    ),
+    (
+        "train_error",
+        &[
+            ("model", Kind::Str),
+            ("epoch", Kind::Num),
+            ("fault", Kind::Str),
+        ],
+    ),
+    (
+        "job_failure",
+        &[
+            ("index", Kind::Num),
+            ("attempts", Kind::Num),
+            ("message", Kind::Str),
+        ],
+    ),
+];
+
+/// Validate JSONL journal text against the schema in the module docs.
+///
+/// Every line must parse as a JSON object with a known `"type"` and all of
+/// that type's required fields present with the right kinds. Returns
+/// per-type counts on success; the first offending line (1-based) on error.
+pub fn validate_journal(text: &str) -> Result<JournalStats, String> {
+    let mut stats = JournalStats::default();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {lineno}: empty line"));
+        }
+        let value = json::parse(line).map_err(|e| format!("line {lineno}: invalid JSON: {e}"))?;
+        if !matches!(value, Json::Obj(_)) {
+            return Err(format!("line {lineno}: not a JSON object"));
+        }
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing string \"type\" field"))?;
+        let Some((_, required)) = SCHEMA.iter().find(|(t, _)| *t == kind) else {
+            return Err(format!("line {lineno}: unknown record type {kind:?}"));
+        };
+        for (field, want) in *required {
+            match value.get(field) {
+                None => {
+                    return Err(format!(
+                        "line {lineno}: {kind} record missing required field {field:?}"
+                    ));
+                }
+                Some(v) if !want.matches(v) => {
+                    return Err(format!(
+                        "line {lineno}: {kind} field {field:?} must be a {}",
+                        want.name()
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        *stats.by_type.entry(kind.to_string()).or_insert(0) += 1;
+        stats.lines += 1;
+    }
+    Ok(stats)
+}

@@ -1,0 +1,732 @@
+//! The global recorder: spans, events, counters, gauges, histograms and
+//! per-op profiles, all behind two cheap atomic switches (`enabled`,
+//! `profiling`).
+//!
+//! # Determinism contract
+//!
+//! Instrumentation only *observes*: nothing in this module feeds back into
+//! model computation, RNG state, or thread scheduling, so model outputs and
+//! recovery traces are bitwise identical with the recorder on or off and at
+//! any thread count. Each thread buffers its records locally and merges them
+//! into the global store in one step when its outermost span closes, so a
+//! span's records always appear contiguously; the interleaving *between*
+//! top-level spans from different threads follows wall-clock completion
+//! order and is the one non-deterministic aspect of the journal (content is
+//! deterministic, line order across threads is not).
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Cap on buffered journal records; beyond this, records are counted as
+/// dropped rather than growing memory without bound.
+const MAX_RECORDS: usize = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Verbosity of human-readable stderr logging (`SITEREC_LOG`).
+///
+/// Library crates print nothing at [`LogLevel::Off`]; bench binaries keep
+/// their stdout tables at every level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LogLevel {
+    /// No stderr logging from library crates (the default).
+    Off = 0,
+    /// End-of-run summaries and coarse progress lines.
+    Summary = 1,
+    /// Per-stage diagnostics (dataset generation, graph builds, eval cells).
+    Debug = 2,
+}
+
+impl LogLevel {
+    fn from_u8(v: u8) -> LogLevel {
+        match v {
+            1 => LogLevel::Summary,
+            2 => LogLevel::Debug,
+            _ => LogLevel::Off,
+        }
+    }
+}
+
+struct Config {
+    enabled: AtomicBool,
+    profiling: AtomicBool,
+    log: AtomicU8,
+    journal: Option<PathBuf>,
+}
+
+impl Config {
+    fn from_env() -> Config {
+        let journal = std::env::var_os("SITEREC_JOURNAL")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        let profile_env = std::env::var("SITEREC_PROFILE").is_ok_and(|v| v == "1");
+        let log = match std::env::var("SITEREC_LOG").as_deref() {
+            Ok("summary") => LogLevel::Summary,
+            Ok("debug") => LogLevel::Debug,
+            _ => LogLevel::Off,
+        };
+        // Any observable output (journal, profile, or stderr summaries)
+        // requires record accumulation.
+        let enabled = journal.is_some() || profile_env || log != LogLevel::Off;
+        Config {
+            enabled: AtomicBool::new(enabled),
+            profiling: AtomicBool::new(journal.is_some() || profile_env),
+            log: AtomicU8::new(log as u8),
+            journal,
+        }
+    }
+}
+
+fn config() -> &'static Config {
+    static CONFIG: OnceLock<Config> = OnceLock::new();
+    CONFIG.get_or_init(Config::from_env)
+}
+
+/// Is the recorder accumulating records? This is the one check every
+/// instrumentation site performs first; when `false` the cost of an
+/// instrumented call site is a single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    config().enabled.load(Ordering::Relaxed)
+}
+
+/// Turn record accumulation on or off (overrides the env-derived default;
+/// used by tests and the bench wrapper).
+pub fn set_enabled(on: bool) {
+    config().enabled.store(on, Ordering::Relaxed);
+}
+
+/// Is opt-in per-op tape profiling requested? Checked once per `Graph`
+/// construction, not per op.
+#[inline]
+pub fn profiling_enabled() -> bool {
+    config().profiling.load(Ordering::Relaxed)
+}
+
+/// Turn per-op tape profiling on or off.
+pub fn set_profiling(on: bool) {
+    config().profiling.store(on, Ordering::Relaxed);
+}
+
+/// Current stderr verbosity.
+#[inline]
+pub fn log_level() -> LogLevel {
+    LogLevel::from_u8(config().log.load(Ordering::Relaxed))
+}
+
+/// Override the stderr verbosity (normally set via `SITEREC_LOG`).
+pub fn set_log_level(level: LogLevel) {
+    config().log.store(level as u8, Ordering::Relaxed);
+}
+
+/// Would a message at `level` be printed?
+#[inline]
+pub fn log_enabled(level: LogLevel) -> bool {
+    level != LogLevel::Off && log_level() >= level
+}
+
+/// Print one log line to stderr with the `[siterec]` prefix. Call sites go
+/// through [`crate::olog!`], which performs the level check first.
+pub fn log_line(args: std::fmt::Arguments<'_>) {
+    eprintln!("[siterec] {args}");
+}
+
+/// The journal path from `SITEREC_JOURNAL`, if set at process start.
+pub fn journal_path() -> Option<&'static Path> {
+    config().journal.as_deref()
+}
+
+// ---------------------------------------------------------------------------
+// Values and records
+// ---------------------------------------------------------------------------
+
+/// A structured field value attached to spans, events and journal records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (seeds, counts; serialized at full precision).
+    UInt(u64),
+    /// Floating-point (non-finite values serialize as JSON strings).
+    Float(f64),
+    /// Text.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+macro_rules! value_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::$variant(v as $conv) }
+        })*
+    };
+}
+
+value_from!(
+    i32 => Int as i64,
+    i64 => Int as i64,
+    u32 => UInt as u64,
+    u64 => UInt as u64,
+    usize => UInt as u64,
+    f32 => Float as f64,
+    f64 => Float as f64,
+);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Float(v) => json::write_f64(out, *v),
+            Value::Str(s) => json::write_escaped(out, s),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+}
+
+/// One journal record: a `type` tag plus flat key-value fields.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// The record type (`"span"`, `"event"`, `"train_epoch"`, ...).
+    pub kind: &'static str,
+    /// Flat key-value payload, serialized in insertion order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Record {
+    /// Serialize as a single JSON object (one journal line, no newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"type\":");
+        json::write_escaped(&mut out, self.kind);
+        for (k, v) in &self.fields {
+            out.push(',');
+            json::write_escaped(&mut out, k);
+            out.push(':');
+            v.write_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+
+    fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Number of histogram buckets (fixed, so summaries are reproducible).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Exponent offset: bucket `i` covers `[2^(i-OFFSET), 2^(i-OFFSET+1))`,
+/// i.e. bucket 30 covers `[1, 2)`. Values at or below `2^-30` (and all
+/// non-positive values) land in bucket 0; values at or above `2^34` land
+/// in bucket 63.
+const HIST_EXP_OFFSET: i32 = 30;
+
+/// A fixed-bucket log2 histogram. Bucket boundaries are powers of two
+/// derived from the value's exponent bits, so bucketing is exact integer
+/// math — identical on every run and platform.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a value falls into.
+    pub fn bucket_index(v: f64) -> usize {
+        if v <= 0.0 || !v.is_finite() {
+            // Non-positive, NaN: underflow bucket. +inf overflows below.
+            return if v == f64::INFINITY {
+                HIST_BUCKETS - 1
+            } else {
+                0
+            };
+        }
+        // Exact exponent extraction; subnormals have biased exponent 0 and
+        // clamp into bucket 0 along with everything below 2^-30.
+        let biased = ((v.to_bits() >> 52) & 0x7ff) as i32;
+        let exp = biased - 1023;
+        (exp + HIST_EXP_OFFSET).clamp(0, HIST_BUCKETS as i32 - 1) as usize
+    }
+
+    /// The `[lo, hi)` value range of bucket `i` (bucket 0 starts at 0).
+    pub fn bucket_bounds(i: usize) -> (f64, f64) {
+        let hi = 2f64.powi(i as i32 - HIST_EXP_OFFSET + 1);
+        let lo = if i == 0 {
+            0.0
+        } else {
+            2f64.powi(i as i32 - HIST_EXP_OFFSET)
+        };
+        (lo, hi)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(bucket_index, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+// ---------------------------------------------------------------------------
+
+/// Aggregated per-op-kind tape profile (forward and backward passes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpProfile {
+    /// Forward executions of this op kind.
+    pub calls: u64,
+    /// Total wall time attributed to forward execution, in nanoseconds.
+    pub forward_ns: u64,
+    /// Total wall time attributed to backward execution, in nanoseconds.
+    pub backward_ns: u64,
+    /// Total output elements produced across all calls.
+    pub elements: u64,
+}
+
+/// Aggregated timing for one span name (optionally split by `model` field).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanAgg {
+    /// Number of spans closed under this key.
+    pub count: u64,
+    /// Total wall time across those spans, in nanoseconds.
+    pub total_ns: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct Inner {
+    pub(crate) records: Vec<Record>,
+    pub(crate) dropped: usize,
+    pub(crate) counters: BTreeMap<&'static str, u64>,
+    pub(crate) gauges: BTreeMap<&'static str, f64>,
+    pub(crate) hists: BTreeMap<&'static str, Histogram>,
+    pub(crate) ops: BTreeMap<&'static str, OpProfile>,
+    pub(crate) span_aggs: BTreeMap<String, SpanAgg>,
+}
+
+impl Inner {
+    fn push_record(&mut self, rec: Record) {
+        if rec.kind == "span" {
+            let name = match rec.field("name") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => String::new(),
+            };
+            let key = match rec.field("model") {
+                Some(Value::Str(m)) => format!("{name}[{m}]"),
+                _ => name,
+            };
+            let dur = match rec.field("dur_ns") {
+                Some(Value::UInt(ns)) => *ns,
+                _ => 0,
+            };
+            let agg = self.span_aggs.entry(key).or_default();
+            agg.count += 1;
+            agg.total_ns += dur;
+        }
+        if self.records.len() >= MAX_RECORDS {
+            self.dropped += 1;
+        } else {
+            self.records.push(rec);
+        }
+    }
+}
+
+static INNER: Mutex<Inner> = Mutex::new(Inner {
+    records: Vec::new(),
+    dropped: 0,
+    counters: BTreeMap::new(),
+    gauges: BTreeMap::new(),
+    hists: BTreeMap::new(),
+    ops: BTreeMap::new(),
+    span_aggs: BTreeMap::new(),
+});
+
+pub(crate) fn inner() -> MutexGuard<'static, Inner> {
+    // Survive poisoning: panics are expected under the resilient eval
+    // harness and must not take observability down with them.
+    INNER.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Clear all recorded state (records, metrics, profiles). Used by tests and
+/// by the bench wrapper at run start.
+pub fn reset() {
+    let mut g = inner();
+    *g = Inner::default();
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local span stack and record buffer
+// ---------------------------------------------------------------------------
+
+struct Frame {
+    name: &'static str,
+    path: String,
+    fields: Vec<(&'static str, Value)>,
+    start: Instant,
+}
+
+#[derive(Default)]
+struct ThreadState {
+    stack: Vec<Frame>,
+    buf: Vec<Record>,
+}
+
+thread_local! {
+    static TLS: std::cell::RefCell<ThreadState> = std::cell::RefCell::new(ThreadState::default());
+}
+
+/// RAII guard for an open span; the span record is emitted (and, for an
+/// outermost span, the thread's buffered records are merged into the global
+/// store) when the guard drops.
+#[must_use = "a span closes when its guard drops; bind it to a named variable"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Open a span. Prefer the [`crate::span!`] macro, which skips all
+    /// argument evaluation when the recorder is disabled.
+    pub fn enter(name: &'static str, fields: Vec<(&'static str, Value)>) -> SpanGuard {
+        TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            let path = match t.stack.last() {
+                Some(parent) => format!("{}/{}", parent.path, name),
+                None => name.to_string(),
+            };
+            t.stack.push(Frame {
+                name,
+                path,
+                fields,
+                start: Instant::now(),
+            });
+        });
+        SpanGuard { active: true }
+    }
+
+    /// A no-op guard, returned by [`crate::span!`] when disabled.
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { active: false }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            let Some(frame) = t.stack.pop() else { return };
+            let dur_ns = frame.start.elapsed().as_nanos() as u64;
+            let mut fields: Vec<(&'static str, Value)> = Vec::with_capacity(frame.fields.len() + 3);
+            fields.push(("name", Value::Str(frame.name.to_string())));
+            fields.push(("path", Value::Str(frame.path)));
+            fields.extend(frame.fields);
+            fields.push(("dur_ns", Value::UInt(dur_ns)));
+            t.buf.push(Record {
+                kind: "span",
+                fields,
+            });
+            if t.stack.is_empty() {
+                let batch: Vec<Record> = t.buf.drain(..).collect();
+                drop(t);
+                let mut g = inner();
+                for rec in batch {
+                    g.push_record(rec);
+                }
+            }
+        });
+    }
+}
+
+/// Emit a typed journal record (e.g. `"train_epoch"`, `"recovery"`,
+/// `"job_failure"`). Buffers locally while a span is open on this thread;
+/// otherwise appends to the global store directly. Call sites should go
+/// through [`crate::record!`], which checks [`enabled`] first.
+pub fn record_fields(kind: &'static str, fields: Vec<(&'static str, Value)>) {
+    let rec = Record { kind, fields };
+    let buffered = TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.stack.is_empty() {
+            false
+        } else {
+            t.buf.push(rec.clone());
+            true
+        }
+    });
+    if !buffered {
+        inner().push_record(rec);
+    }
+}
+
+/// Emit a generic named event record. Call sites should go through
+/// [`crate::event!`], which checks [`enabled`] first.
+pub fn event_fields(name: &'static str, mut fields: Vec<(&'static str, Value)>) {
+    fields.insert(0, ("name", Value::Str(name.to_string())));
+    record_fields("event", fields);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Add `n` to a named counter. No-op when the recorder is disabled.
+#[inline]
+pub fn counter_add(name: &'static str, n: u64) {
+    if enabled() {
+        *inner().counters.entry(name).or_insert(0) += n;
+    }
+}
+
+/// Set a named gauge to its latest value. No-op when disabled.
+#[inline]
+pub fn gauge_set(name: &'static str, v: f64) {
+    if enabled() {
+        inner().gauges.insert(name, v);
+    }
+}
+
+/// Record one observation into a named histogram. No-op when disabled.
+#[inline]
+pub fn hist_record(name: &'static str, v: f64) {
+    if enabled() {
+        inner().hists.entry(name).or_default().record(v);
+    }
+}
+
+/// Merge a per-op profile sample (from a dropped tape) into the global
+/// per-op-kind aggregate. No-op when disabled.
+pub fn op_profile_add(kind: &'static str, sample: OpProfile) {
+    if enabled() {
+        let mut g = inner();
+        let agg = g.ops.entry(kind).or_default();
+        agg.calls += sample.calls;
+        agg.forward_ns += sample.forward_ns;
+        agg.backward_ns += sample.backward_ns;
+        agg.elements += sample.elements;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot & summary
+// ---------------------------------------------------------------------------
+
+/// A point-in-time copy of all aggregated state, for summaries, profile
+/// artifacts and tests.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms by name.
+    pub hists: Vec<(String, Histogram)>,
+    /// Per-op-kind tape profiles.
+    pub ops: Vec<(String, OpProfile)>,
+    /// Span aggregates keyed by `name` or `name[model]`.
+    pub spans: Vec<(String, SpanAgg)>,
+    /// Number of buffered journal records.
+    pub records: usize,
+    /// Records dropped after hitting the in-memory cap.
+    pub dropped: usize,
+}
+
+/// Take a snapshot of all aggregated state.
+pub fn snapshot() -> Snapshot {
+    let g = inner();
+    Snapshot {
+        counters: g
+            .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect(),
+        gauges: g.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        hists: g
+            .hists
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+        ops: g.ops.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        spans: g.span_aggs.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        records: g.records.len(),
+        dropped: g.dropped,
+    }
+}
+
+impl Snapshot {
+    /// The top-`k` op kinds by total (forward + backward) wall time.
+    pub fn top_ops(&self, k: usize) -> Vec<(String, OpProfile)> {
+        let mut ops = self.ops.clone();
+        ops.sort_by(|a, b| {
+            let ta = a.1.forward_ns + a.1.backward_ns;
+            let tb = b.1.forward_ns + b.1.backward_ns;
+            tb.cmp(&ta).then_with(|| a.0.cmp(&b.0))
+        });
+        ops.truncate(k);
+        ops
+    }
+
+    /// Render the human-readable end-of-run summary.
+    pub fn render(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::new();
+        let _ = writeln!(out, "── observability summary ──");
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "spans (count · total):");
+            for (name, agg) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} {:>6} · {:>10.1} ms",
+                    agg.count,
+                    ms(agg.total_ns)
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<40} {v:.6}");
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(out, "histograms (count · mean · max):");
+            for (name, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} {:>8} · {:>12.6} · {:>12.6}",
+                    h.count(),
+                    h.mean(),
+                    if h.count() == 0 { 0.0 } else { h.max() }
+                );
+            }
+        }
+        let top = self.top_ops(12);
+        if !top.is_empty() {
+            let _ = writeln!(out, "top ops (calls · fwd ms · bwd ms · elements):");
+            for (kind, op) in &top {
+                let _ = writeln!(
+                    out,
+                    "  {kind:<24} {:>9} · {:>9.1} · {:>9.1} · {:>12}",
+                    op.calls,
+                    ms(op.forward_ns),
+                    ms(op.backward_ns),
+                    op.elements
+                );
+            }
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "(dropped {} records past the in-memory cap)",
+                self.dropped
+            );
+        }
+        out
+    }
+}
+
+/// Render the current end-of-run summary (shortcut for `snapshot().render()`).
+pub fn summary() -> String {
+    snapshot().render()
+}

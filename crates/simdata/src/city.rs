@@ -106,6 +106,13 @@ impl City {
         for r in grid.regions() {
             regions.push(Self::gen_region(&grid, r, &mut rng));
         }
+        siterec_obs::olog!(
+            Debug,
+            "city: {}x{} grid, {} regions generated",
+            config.nx,
+            config.ny,
+            regions.len()
+        );
         City { grid, regions }
     }
 

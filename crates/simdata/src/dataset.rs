@@ -35,10 +35,21 @@ pub struct O2oDataset {
 impl O2oDataset {
     /// Simulate a dataset from a config. Deterministic in the config.
     pub fn generate(config: SimConfig) -> O2oDataset {
+        use siterec_obs as obs;
+        let _span = obs::span!("simdata.generate", seed = config.seed, days = config.days);
         config.validate().expect("invalid SimConfig");
-        let city = City::generate(&config);
-        let store_types = build_store_types(&config);
-        let mut stores = place_stores(&config, &city, &store_types);
+        let city = {
+            let _s = obs::span!("simdata.city");
+            City::generate(&config)
+        };
+        let store_types = {
+            let _s = obs::span!("simdata.store_types");
+            build_store_types(&config)
+        };
+        let mut stores = {
+            let _s = obs::span!("simdata.place_stores");
+            place_stores(&config, &city, &store_types)
+        };
         if config.store_dropout_prob > 0.0 {
             let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD0_07);
             stores.retain(|_| rng.gen::<f64>() >= config.store_dropout_prob);
@@ -47,9 +58,26 @@ impl O2oDataset {
                 s.id = crate::stores::StoreId(i);
             }
         }
-        let supply = CourierSupply::allocate(&config, &city);
-        let delivery = DeliveryModel::new(&config, &supply);
-        let orders = generate_orders(&config, &city, &store_types, &stores, &supply, &delivery);
+        let supply = {
+            let _s = obs::span!("simdata.couriers");
+            CourierSupply::allocate(&config, &city)
+        };
+        let delivery = {
+            let _s = obs::span!("simdata.delivery_model");
+            DeliveryModel::new(&config, &supply)
+        };
+        let orders = {
+            let _s = obs::span!("simdata.orders");
+            generate_orders(&config, &city, &store_types, &stores, &supply, &delivery)
+        };
+        obs::olog!(
+            Debug,
+            "simdata: {} regions, {} stores, {} orders (seed {})",
+            city.num_regions(),
+            stores.len(),
+            orders.len(),
+            config.seed
+        );
         O2oDataset {
             config,
             city,

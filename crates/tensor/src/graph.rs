@@ -12,9 +12,11 @@
 //! message passing without materializing adjacency matrices.
 
 use crate::parallel;
+use crate::profile::TapeProfile;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use siterec_obs as obs;
 
 /// Handle to a node on the tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,6 +73,40 @@ enum Op {
     L1Loss(Var, Tensor),
 }
 
+/// Stable profiling key for an op (used by the opt-in tape profile).
+fn op_kind(op: &Op) -> &'static str {
+    match op {
+        Op::Leaf => "leaf",
+        Op::Add(..) => "add",
+        Op::Sub(..) => "sub",
+        Op::Mul(..) => "mul",
+        Op::Scale(..) => "scale",
+        Op::AddScalar(..) => "add_scalar",
+        Op::MatMul(..) => "matmul",
+        Op::Transpose(..) => "transpose",
+        Op::Relu(..) => "relu",
+        Op::LeakyRelu(..) => "leaky_relu",
+        Op::Sigmoid(..) => "sigmoid",
+        Op::Tanh(..) => "tanh",
+        Op::ConcatCols(..) => "concat_cols",
+        Op::GatherRows(..) => "gather_rows",
+        Op::SegmentSum(..) => "segment_sum",
+        Op::SegmentSoftmax(..) => "segment_softmax",
+        Op::MulColBroadcast(..) => "mul_col_broadcast",
+        Op::AddRowBroadcast(..) => "add_row_broadcast",
+        Op::ScaleRowsConst(..) => "scale_rows_const",
+        Op::RowDot(..) => "row_dot",
+        Op::SoftmaxRows(..) => "softmax_rows",
+        Op::SliceCols(..) => "slice_cols",
+        Op::SumRows(..) => "sum_rows",
+        Op::SumAll(..) => "sum_all",
+        Op::MeanAll(..) => "mean_all",
+        Op::Dropout(..) => "dropout",
+        Op::MseLoss(..) => "mse_loss",
+        Op::L1Loss(..) => "l1_loss",
+    }
+}
+
 struct Node {
     value: Tensor,
     op: Op,
@@ -86,6 +122,9 @@ pub struct Graph {
     pub training: bool,
     /// First non-finite event recorded on this tape (see [`Graph::fault`]).
     fault: Option<String>,
+    /// Opt-in per-op wall-time profile (None unless `siterec-obs` profiling
+    /// was enabled when the tape was created).
+    profile: Option<Box<TapeProfile>>,
 }
 
 impl Default for Graph {
@@ -109,6 +148,7 @@ impl Graph {
             rng: StdRng::seed_from_u64(seed),
             training: true,
             fault: None,
+            profile: TapeProfile::new_if_enabled(),
         }
     }
 
@@ -152,6 +192,9 @@ impl Graph {
         // CI); release builds rely on the always-on input/loss/grad checks.
         if cfg!(debug_assertions) && self.fault.is_none() && value.has_non_finite() {
             self.note_fault(|| format!("non-finite value produced by {op:?}"));
+        }
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.forward(op_kind(&op), value.len());
         }
         self.nodes.push(Node {
             value,
@@ -600,6 +643,9 @@ impl Graph {
             "backward requires a scalar loss"
         );
         self.accumulate(loss, Tensor::scalar(1.0));
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.touch();
+        }
         for i in (0..=loss.0).rev() {
             if !self.nodes[i].needs_grad {
                 continue;
@@ -608,6 +654,8 @@ impl Graph {
                 continue;
             };
             let op = self.nodes[i].op.clone();
+            let kind = op_kind(&op);
+            let bwd_start = self.profile.as_ref().map(|_| std::time::Instant::now());
             match op {
                 Op::Leaf => {}
                 Op::Add(a, b) => {
@@ -861,6 +909,20 @@ impl Graph {
                     self.accumulate(a, ga);
                 }
             }
+            if let (Some(t0), Some(p)) = (bwd_start, self.profile.as_deref_mut()) {
+                p.backward(kind, t0.elapsed());
+            }
+        }
+    }
+}
+
+impl Drop for Graph {
+    fn drop(&mut self) {
+        if let Some(mut p) = self.profile.take() {
+            p.flush();
+        }
+        if obs::enabled() {
+            obs::hist_record("tensor.tape.len", self.nodes.len() as f64);
         }
     }
 }

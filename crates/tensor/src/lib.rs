@@ -54,6 +54,7 @@ pub mod nn;
 pub mod optim;
 pub mod parallel;
 mod param;
+mod profile;
 pub mod resilience;
 mod tensor;
 
@@ -62,5 +63,8 @@ pub use graph::{Graph, Var};
 pub use init::Init;
 pub use parallel::ParallelConfig;
 pub use param::{Bindings, Param, ParamId, ParamStore};
-pub use resilience::{retry_seed, Fault, GuardConfig, RecoveryEvent, TrainError, TrainGuard};
+pub use resilience::{
+    record_recovery, record_train_error, retry_seed, Fault, GuardConfig, RecoveryEvent, TrainError,
+    TrainGuard,
+};
 pub use tensor::Tensor;

@@ -3,6 +3,7 @@
 use crate::parallel;
 use crate::param::ParamStore;
 use crate::tensor::Tensor;
+use siterec_obs as obs;
 
 /// Optimizer interface: consume the gradients currently held by the store and
 /// update parameter values in place.
@@ -97,6 +98,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut ParamStore) {
+        let step_start = obs::enabled().then(std::time::Instant::now);
         self.ensure_state(params);
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
@@ -134,6 +136,10 @@ impl Optimizer for Adam {
                     }
                 },
             );
+        }
+        if let Some(t0) = step_start {
+            obs::counter_add("optim.adam.steps", 1);
+            obs::hist_record("optim.adam.step_seconds", t0.elapsed().as_secs_f64());
         }
     }
 }

@@ -47,6 +47,22 @@ pub fn kernel_threads() -> usize {
     KERNEL_THREADS.load(Ordering::Relaxed)
 }
 
+/// Record one parallel-region entry with the observability layer: region
+/// and split-region counters plus output bytes touched. Costs one relaxed
+/// atomic load when the recorder is disabled.
+#[inline]
+fn note_region(workers: usize, bytes: usize) {
+    if siterec_obs::enabled() {
+        siterec_obs::counter_add("tensor.parallel.regions", 1);
+        if workers > 1 {
+            siterec_obs::counter_add("tensor.parallel.split_regions", 1);
+        }
+        if bytes > 0 {
+            siterec_obs::counter_add("tensor.parallel.bytes", bytes as u64);
+        }
+    }
+}
+
 /// Number of workers worth using for `units` independent work items of
 /// roughly `flops_per_unit` floating-point operations each.
 fn plan_workers(units: usize, flops_per_unit: usize) -> usize {
@@ -66,6 +82,7 @@ fn plan_workers(units: usize, flops_per_unit: usize) -> usize {
 /// Ranges cover `0..n` exactly once, in order within each worker.
 pub fn for_each_range(n: usize, flops_per_unit: usize, f: impl Fn(Range<usize>) + Sync) {
     let workers = plan_workers(n, flops_per_unit);
+    note_region(workers, 0);
     if workers <= 1 {
         f(0..n);
         return;
@@ -104,6 +121,7 @@ pub fn for_each_row_block_mut<T: Send>(
     }
     let rows = data.len().checked_div(row_len).unwrap_or(0);
     let workers = plan_workers(rows, flops_per_row);
+    note_region(workers, std::mem::size_of_val(data));
     if workers <= 1 {
         f(0, data);
         return;
@@ -141,6 +159,7 @@ pub fn for_each_zip3_block_mut<T: Send>(
     }
     let n = a.len();
     let workers = plan_workers(n, flops_per_unit);
+    note_region(workers, 3 * std::mem::size_of_val(&*a));
     if workers <= 1 {
         f(0, a, b, c);
         return;

@@ -186,7 +186,9 @@ impl ParamStore {
     /// Clip gradients to a maximum global norm. Returns the pre-clip norm.
     pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
         let norm = self.grad_norm();
+        siterec_obs::hist_record("train.grad_norm", norm as f64);
         if norm > max_norm && norm > 0.0 {
+            siterec_obs::counter_add("train.grad_clips", 1);
             let scale = max_norm / norm;
             for p in &mut self.params {
                 for x in p.grad.data_mut() {

@@ -1,0 +1,68 @@
+//! Opt-in per-op tape profiling.
+//!
+//! When `siterec_obs::profiling_enabled()` is set at tape construction, the
+//! [`crate::Graph`] carries a `TapeProfile` that attributes wall time to op
+//! kinds on both passes:
+//!
+//! - **forward**: [`TapeProfile::forward`] is called from the single `push`
+//!   chokepoint and charges the time since the previous push to the op being
+//!   recorded. This boundary timing includes any caller glue between two
+//!   ops, which is the honest cost of "getting this op onto the tape".
+//! - **backward**: each node's gradient arm is timed individually.
+//!
+//! The per-tape map merges into the global `siterec_obs` aggregate when the
+//! graph drops, so the cost while recording is one `BTreeMap` update per op
+//! and one lock per tape lifetime. With profiling off the `Graph` holds
+//! `None` and the per-op cost is zero.
+
+use siterec_obs as obs;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Per-tape accumulation of op-kind statistics (see module docs).
+pub(crate) struct TapeProfile {
+    last: Instant,
+    stats: BTreeMap<&'static str, obs::OpProfile>,
+}
+
+impl TapeProfile {
+    /// A fresh profile when recording *and* profiling are on, else `None`
+    /// (checked once per tape, not per op).
+    pub(crate) fn new_if_enabled() -> Option<Box<TapeProfile>> {
+        (obs::enabled() && obs::profiling_enabled()).then(|| {
+            Box::new(TapeProfile {
+                last: Instant::now(),
+                stats: BTreeMap::new(),
+            })
+        })
+    }
+
+    /// Charge the time since the previous push to `kind` and count one call
+    /// producing `elements` output elements.
+    pub(crate) fn forward(&mut self, kind: &'static str, elements: usize) {
+        let now = Instant::now();
+        let stat = self.stats.entry(kind).or_default();
+        stat.calls += 1;
+        stat.forward_ns += now.duration_since(self.last).as_nanos() as u64;
+        stat.elements += elements as u64;
+        self.last = now;
+    }
+
+    /// Reset the boundary clock (called at `backward` entry so the first
+    /// node does not absorb time spent between forward and backward).
+    pub(crate) fn touch(&mut self) {
+        self.last = Instant::now();
+    }
+
+    /// Charge one backward gradient arm to `kind`.
+    pub(crate) fn backward(&mut self, kind: &'static str, dur: Duration) {
+        self.stats.entry(kind).or_default().backward_ns += dur.as_nanos() as u64;
+    }
+
+    /// Merge this tape's statistics into the global per-op aggregate.
+    pub(crate) fn flush(&mut self) {
+        for (kind, stat) in std::mem::take(&mut self.stats) {
+            obs::op_profile_add(kind, stat);
+        }
+    }
+}

@@ -35,6 +35,7 @@ use crate::graph::Graph;
 use crate::optim::Adam;
 use crate::param::ParamStore;
 use serde::{Deserialize, Serialize};
+use siterec_obs as obs;
 use std::fmt;
 
 /// What a per-epoch health check found wrong.
@@ -105,6 +106,52 @@ pub struct RecoveryEvent {
     pub lr_before: f32,
     /// Learning rate after the decay (used for the retry and onwards).
     pub lr_after: f32,
+}
+
+/// Emit a [`RecoveryEvent`] into the observability journal as a first-class
+/// `recovery` record, with enough context (model, seed, epoch, attempt) to
+/// re-run the failed cell standalone. The guard itself does not know the
+/// model name or run seed, so the training loop that owns them calls this
+/// right after a successful `TrainGuard::recover`. No-op when the recorder
+/// is disabled.
+pub fn record_recovery(model: &str, seed: u64, attempt: usize, event: &RecoveryEvent) {
+    if !obs::enabled() {
+        return;
+    }
+    let rollback = event.rollback_to.map_or(-1, |e| e as i64);
+    obs::record_fields(
+        "recovery",
+        vec![
+            ("model", obs::Value::from(model)),
+            ("seed", obs::Value::from(seed)),
+            ("epoch", obs::Value::from(event.epoch)),
+            ("attempt", obs::Value::from(attempt)),
+            ("fault", obs::Value::from(event.fault.to_string())),
+            ("rollback_to", obs::Value::Int(rollback)),
+            ("lr_before", obs::Value::from(event.lr_before)),
+            ("lr_after", obs::Value::from(event.lr_after)),
+        ],
+    );
+    obs::counter_add("train.recoveries", 1);
+}
+
+/// Emit a terminal [`TrainError`] into the observability journal as a
+/// `train_error` record. No-op when the recorder is disabled.
+pub fn record_train_error(model: &str, seed: u64, err: &TrainError) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::record_fields(
+        "train_error",
+        vec![
+            ("model", obs::Value::from(model)),
+            ("seed", obs::Value::from(seed)),
+            ("epoch", obs::Value::from(err.epoch)),
+            ("recoveries", obs::Value::from(err.recoveries)),
+            ("fault", obs::Value::from(err.fault.to_string())),
+        ],
+    );
+    obs::counter_add("train.errors", 1);
 }
 
 /// Guardrail configuration.

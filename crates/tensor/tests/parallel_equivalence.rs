@@ -144,6 +144,53 @@ fn adam_steps_bitwise_equal() {
 }
 
 #[test]
+fn recorder_does_not_perturb_model_bits() {
+    // Determinism contract of siterec-obs: instrumentation only observes.
+    // Train a few Adam steps with the recorder (and tape profiling) fully
+    // enabled and fully disabled, at 1 and at 8 threads, and require all
+    // four runs to produce identical parameter bits.
+    let _l = lock();
+    let run = || {
+        let mut ps = ParamStore::new(9);
+        let w = ps.add("w", 64, 64, Init::XavierUniform);
+        let mut opt = Adam::new(0.01);
+        let target = Tensor::zeros(64, 64);
+        for _ in 0..4 {
+            let mut g = Graph::new();
+            let binds = ps.bind(&mut g);
+            let y = g.tanh(binds.var(w));
+            let loss = g.mse_loss(y, &target);
+            g.backward(loss);
+            ps.zero_grads();
+            ps.harvest(&g, &binds);
+            ps.clip_grad_norm(5.0);
+            opt.step(&mut ps);
+        }
+        bits(&ps.get(w).value)
+    };
+    let mut results = Vec::new();
+    for threads in [1usize, 8] {
+        for instrumented in [false, true] {
+            siterec_obs::reset();
+            siterec_obs::set_enabled(instrumented);
+            siterec_obs::set_profiling(instrumented);
+            let _g = ThreadGuard::set(threads);
+            results.push((threads, instrumented, run()));
+        }
+    }
+    siterec_obs::set_enabled(false);
+    siterec_obs::set_profiling(false);
+    siterec_obs::reset();
+    let baseline = &results[0].2;
+    for (threads, instrumented, bits) in &results[1..] {
+        assert_eq!(
+            bits, baseline,
+            "bits differ at threads={threads} recorder={instrumented}"
+        );
+    }
+}
+
+#[test]
 fn gradcheck_passes_with_parallel_kernels_active() {
     let _l = lock();
     let _g = ThreadGuard::set(4);
