@@ -3,6 +3,7 @@
 //! edge lists, and the Adam training loop.
 
 use siterec_obs as obs;
+use siterec_tensor::checkpoint::{self, ByteReader, ByteWriter, CheckpointPolicy, TrainState};
 use siterec_tensor::nn::{Embedding, Linear};
 use siterec_tensor::optim::{Adam, Optimizer};
 use siterec_tensor::{
@@ -180,6 +181,31 @@ impl TrainLoop {
         &self,
         guard_cfg: GuardConfig,
         ps: &mut ParamStore,
+        step: impl FnMut(&mut Graph, &Bindings) -> Var,
+    ) -> Result<TrainTrace, TrainError> {
+        self.run_loop(guard_cfg, None, ps, step)
+    }
+
+    /// Durable variant of [`Self::try_run`]: checkpoints to `policy.dir` on
+    /// the policy's cadence and resumes from an existing checkpoint of this
+    /// model name and seed. The same determinism contract as
+    /// `O2SiteRec::try_train_resumable` applies — a killed and resumed run
+    /// yields raw-bit-identical parameters and losses.
+    pub fn try_run_resumable(
+        &self,
+        guard_cfg: GuardConfig,
+        policy: &CheckpointPolicy,
+        ps: &mut ParamStore,
+        step: impl FnMut(&mut Graph, &Bindings) -> Var,
+    ) -> Result<TrainTrace, TrainError> {
+        self.run_loop(guard_cfg, Some(policy), ps, step)
+    }
+
+    fn run_loop(
+        &self,
+        guard_cfg: GuardConfig,
+        ckpt: Option<&CheckpointPolicy>,
+        ps: &mut ParamStore,
         mut step: impl FnMut(&mut Graph, &Bindings) -> Var,
     ) -> Result<TrainTrace, TrainError> {
         let _span = obs::span!(
@@ -192,6 +218,43 @@ impl TrainLoop {
         let mut guard = TrainGuard::new(guard_cfg, ps, &opt);
         let mut losses = Vec::with_capacity(self.epochs);
         let mut epoch = 0;
+        if let Some(policy) = ckpt {
+            match checkpoint::load_latest(&policy.dir) {
+                Ok(Some(state)) if state.model == self.name && state.seed == self.seed => {
+                    epoch = state.next_epoch;
+                    *ps = state.params;
+                    opt = state.opt;
+                    guard = state.guard;
+                    losses = decode_losses(&state.user).expect("CRC-valid loss payload decodes");
+                    obs::record!(
+                        "resume",
+                        model = self.name,
+                        epoch = epoch,
+                        path = policy.dir.display().to_string(),
+                    );
+                    obs::counter_add("checkpoint.resumes", 1);
+                }
+                Ok(Some(other)) => {
+                    obs::olog!(
+                        Summary,
+                        "ignoring checkpoint in {} (model {} seed {}, want {} seed {})",
+                        policy.dir.display(),
+                        other.model,
+                        other.seed,
+                        self.name,
+                        self.seed
+                    );
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    obs::olog!(
+                        Summary,
+                        "checkpoint dir {} unreadable ({e}); starting fresh",
+                        policy.dir.display()
+                    );
+                }
+            }
+        }
         while epoch < self.epochs {
             let base = self.seed ^ ((epoch as u64) << 3);
             let mut g = Graph::with_seed(retry_seed(base, guard.attempt(epoch)));
@@ -246,6 +309,28 @@ impl TrainLoop {
             );
             obs::hist_record("train.loss", loss_v as f64);
             losses.push(loss_v);
+            if let Some(policy) = ckpt {
+                if policy.due(epoch, self.epochs) {
+                    let state = TrainState {
+                        model: self.name.to_string(),
+                        seed: self.seed,
+                        next_epoch: epoch + 1,
+                        params: ps.clone(),
+                        opt: opt.clone(),
+                        guard: guard.clone(),
+                        user: encode_losses(&losses),
+                    };
+                    if let Err(e) = checkpoint::save(policy, &state) {
+                        // Best-effort: a lost write only widens the replay
+                        // window of a future (bit-identical) resume.
+                        obs::olog!(
+                            Summary,
+                            "checkpoint write to {} failed ({e}); continuing",
+                            policy.dir.display()
+                        );
+                    }
+                }
+            }
             epoch += 1;
         }
         Ok(TrainTrace {
@@ -253,6 +338,28 @@ impl TrainLoop {
             recoveries: guard.into_events(),
         })
     }
+}
+
+/// Encode the loss trace as the checkpoint's opaque `user` payload.
+fn encode_losses(losses: &[f32]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.usize(losses.len());
+    for &l in losses {
+        w.f32(l);
+    }
+    w.into_bytes()
+}
+
+/// Decode a payload written by [`encode_losses`].
+fn decode_losses(bytes: &[u8]) -> Result<Vec<f32>, checkpoint::ByteDecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.usize()?;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(r.f32()?);
+    }
+    r.finish()?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -340,6 +447,56 @@ mod tests {
         assert!(trace.losses.iter().all(|l| l.is_finite()));
         assert_eq!(trace.recoveries.len(), 1);
         assert_eq!(trace.recoveries[0].epoch, 2);
+    }
+
+    #[test]
+    fn resumable_run_matches_uninterrupted_bits() {
+        let dir = std::env::temp_dir().join(format!("siterec_bl_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = CheckpointPolicy::new(&dir);
+        let loop_n = |epochs| TrainLoop {
+            name: "bl-resume-test",
+            epochs,
+            lr: 0.1,
+            ..Default::default()
+        };
+        let build = || {
+            let mut ps = ParamStore::new(5);
+            let w = ps.add("w", 1, 1, Init::Zeros);
+            (ps, w)
+        };
+
+        // Uninterrupted reference.
+        let (mut ps_full, w) = build();
+        let full = loop_n(10)
+            .try_run(GuardConfig::default(), &mut ps_full, |g, binds| {
+                g.mse_loss(binds.var(w), &Tensor::scalar(2.0))
+            })
+            .unwrap();
+
+        // 5 epochs, then a fresh store resumes from disk to 10.
+        let (mut ps_a, w_a) = build();
+        loop_n(5)
+            .try_run_resumable(GuardConfig::default(), &policy, &mut ps_a, |g, binds| {
+                g.mse_loss(binds.var(w_a), &Tensor::scalar(2.0))
+            })
+            .unwrap();
+        let (mut ps_b, w_b) = build();
+        let resumed = loop_n(10)
+            .try_run_resumable(GuardConfig::default(), &policy, &mut ps_b, |g, binds| {
+                g.mse_loss(binds.var(w_b), &Tensor::scalar(2.0))
+            })
+            .unwrap();
+
+        assert_eq!(full.losses.len(), resumed.losses.len());
+        for (a, b) in full.losses.iter().zip(&resumed.losses) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            ps_full.get(w).value.item().to_bits(),
+            ps_b.get(w_b).value.item().to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

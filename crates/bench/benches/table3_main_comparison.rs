@@ -10,6 +10,10 @@
 //! Regenerate with: `cargo bench -p siterec-bench --bench table3_main_comparison`
 //! (set `SITEREC_ROUNDS` to change the number of repeated rounds, and
 //! `SITEREC_SMOKE=1` for a CI-scale smoke run).
+//!
+//! Set `SITEREC_SWEEP_DIR=<dir>` to make the sweep resumable: every finished
+//! cell is persisted there as an atomic artifact, and a killed-and-restarted
+//! run skips straight past completed cells with bit-identical results.
 
 use siterec_baselines::{all_baselines, Baseline, Hgt, Setting};
 use siterec_bench::context::{real_world_or_smoke, Context};
@@ -18,7 +22,7 @@ use siterec_core::{retry_seed, Variant};
 use siterec_eval::stats::paired_t_test;
 use siterec_eval::{
     full_metric_cells, harness_threads, run_jobs, run_jobs_resilient, stars, EvalResult,
-    RetryPolicy, Table,
+    RetryPolicy, SweepCache, Table,
 };
 use std::time::Instant;
 
@@ -93,7 +97,15 @@ fn run() {
 
     // One panic-isolated job per cell, with one reseeded retry. A cell that
     // keeps failing comes back as a JobFailure in its slot; everything else
-    // is unaffected.
+    // is unaffected. With SITEREC_SWEEP_DIR set, finished cells land in the
+    // sweep cache and a restarted run replays them from disk.
+    let cache = SweepCache::from_env();
+    if let Some(c) = &cache {
+        eprintln!(
+            "  resumable sweep: caching cells under {}",
+            c.dir().display()
+        );
+    }
     let outputs = run_jobs_resilient(
         &cells,
         harness_threads(),
@@ -103,14 +115,32 @@ fn run() {
                 let seed = retry_seed(7, attempt);
                 let mut bs = all_baselines(setting, seed);
                 let b = &mut bs[idx];
-                b.set_epochs(baseline_epochs());
-                let res = run_baseline(ctx0, b.as_mut());
-                eprintln!(
-                    "  [{:?}] {} {} done",
-                    t0.elapsed(),
-                    b.name(),
-                    setting.label()
-                );
+                let key = format!("baseline {} {}", b.name(), setting.label());
+                let res = match cache.as_ref().and_then(|c| c.get(&key)) {
+                    Some(r) => {
+                        eprintln!(
+                            "  [{:?}] {} {} (cached)",
+                            t0.elapsed(),
+                            b.name(),
+                            setting.label()
+                        );
+                        r
+                    }
+                    None => {
+                        b.set_epochs(baseline_epochs());
+                        let r = run_baseline(ctx0, b.as_mut());
+                        if let Some(c) = &cache {
+                            c.put(&key, &r);
+                        }
+                        eprintln!(
+                            "  [{:?}] {} {} done",
+                            t0.elapsed(),
+                            b.name(),
+                            setting.label()
+                        );
+                        r
+                    }
+                };
                 CellResult::Baseline {
                     name: b.name().to_string(),
                     setting: setting.label().to_string(),
@@ -118,17 +148,44 @@ fn run() {
                 }
             }
             Cell::HgtRound(round) => {
-                let mut hgt = Hgt::new(Setting::Adaption, retry_seed(7 + round, attempt));
-                hgt.set_epochs(baseline_epochs());
-                let res = run_baseline(&ctxs[round as usize], &mut hgt);
-                eprintln!("  [{:?}] HGT Adaption round {round} done", t0.elapsed());
+                let key = format!("hgt adaption round {round}");
+                let res = match cache.as_ref().and_then(|c| c.get(&key)) {
+                    Some(r) => {
+                        eprintln!("  [{:?}] HGT Adaption round {round} (cached)", t0.elapsed());
+                        r
+                    }
+                    None => {
+                        let mut hgt = Hgt::new(Setting::Adaption, retry_seed(7 + round, attempt));
+                        hgt.set_epochs(baseline_epochs());
+                        let r = run_baseline(&ctxs[round as usize], &mut hgt);
+                        if let Some(c) = &cache {
+                            c.put(&key, &r);
+                        }
+                        eprintln!("  [{:?}] HGT Adaption round {round} done", t0.elapsed());
+                        r
+                    }
+                };
                 CellResult::Hgt(res)
             }
             Cell::O2Round(round) => {
-                let cfg = default_model_config(Variant::Full, retry_seed(17 + round, attempt));
-                let (res, _) =
-                    run_o2_checked(&ctxs[round as usize], cfg).unwrap_or_else(|e| panic!("{e}"));
-                eprintln!("  [{:?}] O2-SiteRec round {round} done", t0.elapsed());
+                let key = format!("o2 round {round}");
+                let res = match cache.as_ref().and_then(|c| c.get(&key)) {
+                    Some(r) => {
+                        eprintln!("  [{:?}] O2-SiteRec round {round} (cached)", t0.elapsed());
+                        r
+                    }
+                    None => {
+                        let cfg =
+                            default_model_config(Variant::Full, retry_seed(17 + round, attempt));
+                        let (r, _) = run_o2_checked(&ctxs[round as usize], cfg)
+                            .unwrap_or_else(|e| panic!("{e}"));
+                        if let Some(c) = &cache {
+                            c.put(&key, &r);
+                        }
+                        eprintln!("  [{:?}] O2-SiteRec round {round} done", t0.elapsed());
+                        r
+                    }
+                };
                 CellResult::O2(res)
             }
         },

@@ -135,6 +135,8 @@ pub fn write_artifact(file_name: &str, body: &str) -> std::io::Result<std::path:
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join(file_name);
-    std::fs::write(&path, &json)?;
+    // Atomic temp-file + fsync + rename (same helper the checkpoint writer
+    // and journal use): a crash mid-write never leaves a torn artifact.
+    siterec_obs::atomic_write(&path, json.as_bytes())?;
     Ok(path)
 }

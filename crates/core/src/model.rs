@@ -8,6 +8,7 @@ use crate::recommend::HeteroModel;
 use siterec_graphs::{HeteroGraph, SiteRecTask};
 use siterec_obs as obs;
 use siterec_sim::O2oDataset;
+use siterec_tensor::checkpoint::{self, ByteReader, ByteWriter, CheckpointPolicy, TrainState};
 use siterec_tensor::optim::{Adam, Optimizer};
 use siterec_tensor::{
     record_recovery, record_train_error, retry_seed, Bindings, Graph, ParamStore, RecoveryEvent,
@@ -37,6 +38,40 @@ pub struct TrainEpoch {
 /// replay identically across runs and thread counts.
 pub fn epoch_graph_seed(seed: u64, epoch: usize) -> u64 {
     seed ^ ((epoch as u64) << 1)
+}
+
+/// Encode the per-epoch loss trace as the checkpoint's opaque `user` payload.
+fn encode_history(hist: &[TrainEpoch]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.usize(hist.len());
+    for e in hist {
+        w.usize(e.epoch);
+        w.f32(e.loss);
+        w.f32(e.o2);
+        w.f32(e.o1);
+        w.usize(e.recoveries);
+    }
+    w.into_bytes()
+}
+
+/// Decode a history payload written by [`encode_history`]. The payload sits
+/// behind the checkpoint's per-section CRC, so a decode failure here means a
+/// format bug, not disk corruption — the caller treats it as fatal.
+fn decode_history(bytes: &[u8]) -> Result<Vec<TrainEpoch>, checkpoint::ByteDecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.usize()?;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(TrainEpoch {
+            epoch: r.usize()?,
+            loss: r.f32()?,
+            o2: r.f32()?,
+            o1: r.f32()?,
+            recoveries: r.usize()?,
+        });
+    }
+    r.finish()?;
+    Ok(out)
 }
 
 /// The full O²-SiteRec model (or one of its ablation variants).
@@ -120,6 +155,12 @@ impl O2SiteRec {
         self.ps.num_weights()
     }
 
+    /// The underlying parameter store (read access; the resume determinism
+    /// tests compare raw `f32` bits across runs through this).
+    pub fn param_store(&self) -> &ParamStore {
+        &self.ps
+    }
+
     /// Loss trace recorded by [`Self::train`].
     pub fn history(&self) -> &[TrainEpoch] {
         &self.history
@@ -169,6 +210,43 @@ impl O2SiteRec {
     /// surfaces as a [`TrainError`]. Healthy runs are bit-identical to the
     /// historical unguarded loop.
     pub fn try_train(&mut self) -> Result<&[TrainEpoch], TrainError> {
+        self.train_loop(None, &mut |_| {})
+    }
+
+    /// Durable guarded training: like [`Self::try_train`] but checkpointing
+    /// to `policy.dir` on the policy's cadence and, when the directory
+    /// already holds a valid checkpoint of this model and seed, resuming
+    /// from it instead of starting at epoch 0.
+    ///
+    /// The checkpoint captures parameters, Adam moments, the full
+    /// [`TrainGuard`] state and the loss history, so a run killed at any
+    /// point — including mid-checkpoint-write — and resumed from disk
+    /// produces raw-`f32`-bit-identical final parameters and an identical
+    /// recovery trace to an uninterrupted run.
+    pub fn try_train_resumable(
+        &mut self,
+        policy: &CheckpointPolicy,
+    ) -> Result<&[TrainEpoch], TrainError> {
+        self.train_loop(Some(policy), &mut |_| {})
+    }
+
+    /// [`Self::try_train_resumable`] with a per-epoch callback, invoked with
+    /// the epoch index after each epoch commits (and after its checkpoint,
+    /// if due, is written). The chaos-restart harness uses the callback to
+    /// report progress to the orchestrator that decides when to kill it.
+    pub fn try_train_resumable_with(
+        &mut self,
+        policy: &CheckpointPolicy,
+        mut on_epoch: impl FnMut(usize),
+    ) -> Result<&[TrainEpoch], TrainError> {
+        self.train_loop(Some(policy), &mut on_epoch)
+    }
+
+    fn train_loop(
+        &mut self,
+        ckpt: Option<&CheckpointPolicy>,
+        on_epoch: &mut dyn FnMut(usize),
+    ) -> Result<&[TrainEpoch], TrainError> {
         let _span = obs::span!(
             "train",
             model = MODEL_NAME,
@@ -179,6 +257,48 @@ impl O2SiteRec {
         let mut opt = Adam::new(self.cfg.lr);
         let mut guard = TrainGuard::new(self.cfg.guard, &self.ps, &opt);
         let mut epoch = 0;
+        if let Some(policy) = ckpt {
+            match checkpoint::load_latest(&policy.dir) {
+                Ok(Some(state)) if state.model == MODEL_NAME && state.seed == self.cfg.seed => {
+                    epoch = state.next_epoch;
+                    self.ps = state.params;
+                    opt = state.opt;
+                    guard = state.guard;
+                    self.history =
+                        decode_history(&state.user).expect("CRC-valid history payload decodes");
+                    obs::record!(
+                        "resume",
+                        model = MODEL_NAME,
+                        epoch = epoch,
+                        path = policy.dir.display().to_string(),
+                    );
+                    obs::counter_add("checkpoint.resumes", 1);
+                }
+                Ok(Some(other)) => {
+                    // A checkpoint for a different model/seed: starting fresh
+                    // is correct; silently continuing someone else's run is
+                    // not.
+                    obs::olog!(
+                        Summary,
+                        "ignoring checkpoint in {} (model {} seed {}, want {MODEL_NAME} seed {})",
+                        policy.dir.display(),
+                        other.model,
+                        other.seed,
+                        self.cfg.seed
+                    );
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    // Unreadable directory: degrade to a fresh run rather
+                    // than failing training over telemetry-grade I/O.
+                    obs::olog!(
+                        Summary,
+                        "checkpoint dir {} unreadable ({e}); starting fresh",
+                        policy.dir.display()
+                    );
+                }
+            }
+        }
         while epoch < self.cfg.epochs {
             let base = epoch_graph_seed(self.cfg.seed, epoch);
             let mut g = Graph::with_seed(retry_seed(base, guard.attempt(epoch)));
@@ -245,6 +365,30 @@ impl O2SiteRec {
             );
             obs::hist_record("train.loss", rec.loss as f64);
             self.history.push(rec);
+            if let Some(policy) = ckpt {
+                if policy.due(epoch, self.cfg.epochs) {
+                    let state = TrainState {
+                        model: MODEL_NAME.to_string(),
+                        seed: self.cfg.seed,
+                        next_epoch: epoch + 1,
+                        params: self.ps.clone(),
+                        opt: opt.clone(),
+                        guard: guard.clone(),
+                        user: encode_history(&self.history),
+                    };
+                    if let Err(e) = checkpoint::save(policy, &state) {
+                        // Best-effort durability: a failed write only means a
+                        // future resume replays more epochs (bit-identically),
+                        // so log it and keep training.
+                        obs::olog!(
+                            Summary,
+                            "checkpoint write to {} failed ({e}); continuing",
+                            policy.dir.display()
+                        );
+                    }
+                }
+            }
+            on_epoch(epoch);
             epoch += 1;
         }
         self.recoveries = guard.into_events();
@@ -430,6 +574,63 @@ mod tests {
         m.try_train().unwrap();
         assert!(m.recovery_events().is_empty());
         assert!(m.history().iter().all(|e| e.recoveries == 0));
+    }
+
+    #[test]
+    fn resumed_run_is_bit_identical_to_uninterrupted() {
+        let (d, t) = task();
+        let dir = std::env::temp_dir().join(format!("siterec_core_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = CheckpointPolicy::new(&dir);
+
+        // Reference: one uninterrupted 8-epoch run.
+        let mut full = O2SiteRec::new(&d, &t, tiny_cfg(Variant::Full));
+        full.try_train().unwrap();
+
+        // Interrupted: 4 epochs with checkpoints, then a *fresh* model picks
+        // the run up from disk and finishes the remaining 4.
+        let mut half_cfg = tiny_cfg(Variant::Full);
+        half_cfg.epochs = 4;
+        let mut first = O2SiteRec::new(&d, &t, half_cfg);
+        first.try_train_resumable(&policy).unwrap();
+        assert_eq!(first.history().len(), 4);
+
+        let mut second = O2SiteRec::new(&d, &t, tiny_cfg(Variant::Full));
+        second.try_train_resumable(&policy).unwrap();
+
+        // Raw-bit equality of every parameter, and of the full loss trace.
+        for (a, b) in full.param_store().iter().zip(second.param_store().iter()) {
+            assert_eq!(a.name, b.name);
+            let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.value), bits(&b.value), "param {} differs", a.name);
+        }
+        assert_eq!(full.history().len(), second.history().len());
+        for (x, y) in full.history().iter().zip(second.history()) {
+            assert_eq!(x.epoch, y.epoch);
+            assert_eq!(x.loss.to_bits(), y.loss.to_bits());
+            assert_eq!(x.o2.to_bits(), y.o2.to_bits());
+            assert_eq!(x.o1.to_bits(), y.o1.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_for_other_seed_is_ignored() {
+        let (d, t) = task();
+        let dir = std::env::temp_dir().join(format!("siterec_core_seedchk_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = CheckpointPolicy::new(&dir);
+        let mut m = O2SiteRec::new(&d, &t, tiny_cfg(Variant::Full));
+        m.try_train_resumable(&policy).unwrap();
+
+        // A different seed must start fresh, not adopt the foreign state.
+        let mut other_cfg = tiny_cfg(Variant::Full);
+        other_cfg.seed += 1;
+        let mut other = O2SiteRec::new(&d, &t, other_cfg);
+        other.try_train_resumable(&policy).unwrap();
+        assert_eq!(other.history().len(), 8);
+        assert_eq!(other.history()[0].epoch, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

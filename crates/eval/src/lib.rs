@@ -19,6 +19,7 @@ mod harness;
 mod metrics;
 mod report;
 pub mod stats;
+pub mod sweep;
 
 pub use fanout::{
     harness_threads, run_jobs, run_jobs_resilient, seed_stream, JobFailure, RetryPolicy,
@@ -29,3 +30,4 @@ pub use harness::{
 };
 pub use metrics::{ndcg_at_k, precision_at_k, rmse, Candidate, TOP_N};
 pub use report::{full_metric_cells, short_metric_cells, stars, Table};
+pub use sweep::SweepCache;

@@ -1,0 +1,192 @@
+//! Resumable evaluation sweeps: a per-cell result cache on disk.
+//!
+//! Table-scale experiments (Table III runs 15+ independent model×setting
+//! cells, several minutes each) are exactly the runs most likely to be
+//! killed partway. [`SweepCache`] makes them resumable: every finished cell
+//! is persisted as one small atomic artifact keyed by the cell's name, and a
+//! restarted sweep skips straight past cells whose artifacts already exist.
+//!
+//! The artifact format stores each `f64` metric as its raw IEEE-754 bits, so
+//! a cache hit reproduces the original [`EvalResult`] bit-for-bit — resumed
+//! tables are identical to uninterrupted ones, in keeping with the
+//! workspace-wide determinism contract. Files are written through
+//! [`siterec_obs::atomic_write`] (temp file + fsync + rename), so a kill
+//! mid-write leaves either the complete artifact or none; a torn or
+//! hand-edited file simply fails to parse and the cell re-runs.
+
+use crate::harness::EvalResult;
+use std::path::{Path, PathBuf};
+
+/// Directory-backed cache of finished sweep cells. See the module docs.
+#[derive(Debug, Clone)]
+pub struct SweepCache {
+    dir: PathBuf,
+}
+
+/// Env var holding the sweep-cache directory; when set, table benches
+/// construct a [`SweepCache`] over it and become resumable.
+pub const SWEEP_DIR_ENV: &str = "SITEREC_SWEEP_DIR";
+
+/// Reduce a cell key to a safe file stem: alphanumerics kept, everything
+/// else mapped to `_`.
+fn sanitize(key: &str) -> String {
+    key.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+impl SweepCache {
+    /// Cache rooted at `dir` (created lazily on the first store).
+    pub fn new(dir: impl Into<PathBuf>) -> SweepCache {
+        SweepCache { dir: dir.into() }
+    }
+
+    /// Cache configured by `SITEREC_SWEEP_DIR`, or `None` when unset/empty.
+    pub fn from_env() -> Option<SweepCache> {
+        match std::env::var(SWEEP_DIR_ENV) {
+            Ok(d) if !d.is_empty() => Some(SweepCache::new(d)),
+            _ => None,
+        }
+    }
+
+    /// Root directory of the cache.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("cell-{}.bits", sanitize(key)))
+    }
+
+    /// The cached result for `key`, if a complete, well-formed artifact
+    /// exists. Torn or corrupt artifacts read as a miss (the cell re-runs).
+    pub fn get(&self, key: &str) -> Option<EvalResult> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        let res = parse_result(&text)?;
+        siterec_obs::counter_add("sweep.cache_hits", 1);
+        Some(res)
+    }
+
+    /// Persist `res` as the finished result of cell `key` (atomic write;
+    /// best-effort — an I/O failure costs a re-run, not the sweep).
+    pub fn put(&self, key: &str, res: &EvalResult) {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let path = self.path_for(key);
+        if siterec_obs::atomic_write(&path, render_result(key, res).as_bytes()).is_err() {
+            siterec_obs::olog!(
+                Summary,
+                "sweep cache write failed for {}; cell will re-run on resume",
+                path.display()
+            );
+        }
+    }
+}
+
+fn render_result(key: &str, r: &EvalResult) -> String {
+    // Raw f64 bits: decimal formatting would round-trip imprecisely.
+    format!(
+        "siterec-sweep-cell v1\nkey={key}\nndcg3={}\nndcg5={}\nndcg10={}\nprecision3={}\n\
+         precision5={}\nprecision10={}\nrmse={}\ntypes_evaluated={}\n",
+        r.ndcg3.to_bits(),
+        r.ndcg5.to_bits(),
+        r.ndcg10.to_bits(),
+        r.precision3.to_bits(),
+        r.precision5.to_bits(),
+        r.precision10.to_bits(),
+        r.rmse.to_bits(),
+        r.types_evaluated,
+    )
+}
+
+fn parse_result(text: &str) -> Option<EvalResult> {
+    let mut lines = text.lines();
+    if lines.next()? != "siterec-sweep-cell v1" {
+        return None;
+    }
+    let mut field = |name: &str| -> Option<u64> {
+        let line = lines.next()?;
+        line.strip_prefix(name)?.strip_prefix('=')?.parse().ok()
+    };
+    // The key line is informational (the file name already encodes it); it
+    // never parses as a number, but consuming it here keeps the cursor
+    // aligned for the metric lines below.
+    let _ = field("key");
+    Some(EvalResult {
+        ndcg3: f64::from_bits(field("ndcg3")?),
+        ndcg5: f64::from_bits(field("ndcg5")?),
+        ndcg10: f64::from_bits(field("ndcg10")?),
+        precision3: f64::from_bits(field("precision3")?),
+        precision5: f64::from_bits(field("precision5")?),
+        precision10: f64::from_bits(field("precision10")?),
+        rmse: f64::from_bits(field("rmse")?),
+        types_evaluated: field("types_evaluated")? as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EvalResult {
+        EvalResult {
+            ndcg3: 0.1234567890123,
+            ndcg5: 0.2,
+            ndcg10: 0.3,
+            precision3: 1.0 / 3.0,
+            precision5: 0.5,
+            precision10: f64::MIN_POSITIVE,
+            rmse: 0.07,
+            types_evaluated: 9,
+        }
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("siterec_sweep_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let d = tmp("rt");
+        let cache = SweepCache::new(&d);
+        assert!(cache.get("O2 round 0").is_none());
+        cache.put("O2 round 0", &sample());
+        let back = cache.get("O2 round 0").unwrap();
+        let want = sample();
+        assert_eq!(back.ndcg3.to_bits(), want.ndcg3.to_bits());
+        assert_eq!(back.precision3.to_bits(), want.precision3.to_bits());
+        assert_eq!(back.rmse.to_bits(), want.rmse.to_bits());
+        assert_eq!(back.types_evaluated, want.types_evaluated);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let d = tmp("keys");
+        let cache = SweepCache::new(&d);
+        let mut a = sample();
+        a.ndcg3 = 0.9;
+        cache.put("GC-MC Original", &sample());
+        cache.put("GC-MC Adaption", &a);
+        assert_eq!(cache.get("GC-MC Original").unwrap().ndcg3, sample().ndcg3);
+        assert_eq!(cache.get("GC-MC Adaption").unwrap().ndcg3, 0.9);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_artifact_reads_as_miss() {
+        let d = tmp("torn");
+        let cache = SweepCache::new(&d);
+        cache.put("cell", &sample());
+        let path = cache.path_for("cell");
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(cache.get("cell").is_none(), "torn artifact must not parse");
+        std::fs::write(&path, "garbage").unwrap();
+        assert!(cache.get("cell").is_none());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

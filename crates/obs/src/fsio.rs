@@ -1,0 +1,95 @@
+//! Crash-safe file writes shared by every artifact writer in the workspace.
+//!
+//! A process that dies mid-`fs::write` leaves a torn file at the destination
+//! path — half a JSON artifact, half a checkpoint. [`atomic_write`] never
+//! exposes a partial file: bytes land in a same-directory temp file, are
+//! fsynced, and only then renamed over the destination (rename within one
+//! directory is atomic on POSIX). The directory itself is fsynced
+//! best-effort afterwards so the rename survives a power cut.
+//!
+//! Used by the JSONL run-journal writer ([`crate::write_journal`]), the
+//! `siterec-tensor` checkpoint writer, and the bench artifact writers
+//! (`BENCH_parallel.json` / `BENCH_profile.json`).
+
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Write `bytes` to `path` atomically: temp file + fsync + rename.
+///
+/// The temp file lives in `path`'s directory (same filesystem, so the rename
+/// cannot degrade to a copy) and is named after the destination plus the
+/// process id, so concurrent writers of *different* destinations never
+/// collide. On any error the temp file is removed and the previous contents
+/// of `path`, if any, are left untouched.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let base = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "atomic_write: no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(".{base}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return result;
+    }
+    // Persist the rename itself. Not all platforms allow fsync on a
+    // directory handle; failure here does not un-write the file.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("siterec_fsio_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let d = tmpdir("replace");
+        let p = d.join("a.json");
+        atomic_write(&p, b"one").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"one");
+        atomic_write(&p, b"two-longer").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"two-longer");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = fs::read_dir(&d)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn failure_leaves_destination_intact() {
+        let d = tmpdir("intact");
+        let p = d.join("keep.bin");
+        atomic_write(&p, b"original").unwrap();
+        // Writing into a directory that does not exist fails without
+        // touching the destination.
+        let bad = d.join("missing-subdir").join("keep.bin");
+        assert!(atomic_write(&bad, b"x").is_err());
+        assert_eq!(fs::read(&p).unwrap(), b"original");
+        let _ = fs::remove_dir_all(&d);
+    }
+}

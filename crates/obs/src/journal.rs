@@ -20,6 +20,9 @@
 //! | `recovery`    | `model` (str), `seed`, `epoch`, `attempt` (num), `fault` (str), `lr_before`, `lr_after` (num or str) |
 //! | `train_error` | `model` (str), `epoch` (num), `fault` (str)                  |
 //! | `job_failure` | `index` (num), `attempts` (num), `message` (str)             |
+//! | `checkpoint_write` | `model` (str), `path` (str), `epoch` (num), `bytes` (num) |
+//! | `checkpoint_corrupt` | `path` (str), `reason` (str)                          |
+//! | `resume`      | `model` (str), `epoch` (num), `path` (str)                   |
 //!
 //! Unknown types fail validation: the schema is closed so that a typo in an
 //! emitting call site is caught by CI rather than silently ignored.
@@ -104,11 +107,12 @@ pub fn journal_to_string() -> String {
     out
 }
 
-/// Write the journal (see [`journal_to_string`]) to `path`, returning the
-/// number of lines written.
+/// Write the journal (see [`journal_to_string`]) to `path` atomically (via
+/// [`crate::atomic_write`], so a crash mid-write never leaves a torn
+/// journal), returning the number of lines written.
 pub fn write_journal(path: &Path) -> io::Result<usize> {
     let text = journal_to_string();
-    std::fs::write(path, &text)?;
+    crate::atomic_write(path, text.as_bytes())?;
     Ok(text.lines().count())
 }
 
@@ -226,6 +230,27 @@ const SCHEMA: &[(&str, &[(&str, Kind)])] = &[
             ("index", Kind::Num),
             ("attempts", Kind::Num),
             ("message", Kind::Str),
+        ],
+    ),
+    (
+        "checkpoint_write",
+        &[
+            ("model", Kind::Str),
+            ("path", Kind::Str),
+            ("epoch", Kind::Num),
+            ("bytes", Kind::Num),
+        ],
+    ),
+    (
+        "checkpoint_corrupt",
+        &[("path", Kind::Str), ("reason", Kind::Str)],
+    ),
+    (
+        "resume",
+        &[
+            ("model", Kind::Str),
+            ("epoch", Kind::Num),
+            ("path", Kind::Str),
         ],
     ),
 ];

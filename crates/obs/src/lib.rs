@@ -46,10 +46,12 @@
 
 #![warn(missing_docs)]
 
+mod fsio;
 mod journal;
 pub mod json;
 mod recorder;
 
+pub use fsio::atomic_write;
 pub use journal::{journal_to_string, validate_journal, write_journal, JournalStats};
 pub use recorder::{
     counter_add, enabled, event_fields, gauge_set, hist_record, journal_path, log_enabled,

@@ -86,6 +86,77 @@ fn repair_drops_corrupt_orders_and_zeroes_features() {
     );
 }
 
+/// Bitwise fingerprint of everything `repair` may touch: all order fields
+/// (float fields as raw IEEE-754 bits, so NaN payloads count) and the four
+/// region-profile features. Equal fingerprints ⇔ repair changed nothing.
+fn repair_surface_fingerprint(data: &O2oDataset) -> Vec<u64> {
+    let mut fp = Vec::new();
+    fp.push(data.orders.len() as u64);
+    for o in &data.orders {
+        fp.extend([
+            o.id.0 as u64,
+            o.store.0 as u64,
+            o.store_region.0 as u64,
+            o.customer_region.0 as u64,
+            o.ty.0 as u64,
+            o.created.0,
+            o.accepted.0,
+            o.pickup.0,
+            o.delivered.0,
+            o.distance_m.to_bits(),
+        ]);
+    }
+    for p in &data.city.regions {
+        fp.extend([
+            p.centrality.to_bits(),
+            p.commercial.to_bits(),
+            p.office_pop.to_bits(),
+            p.residential_pop.to_bits(),
+        ]);
+    }
+    fp
+}
+
+#[test]
+fn repair_is_idempotent_across_every_fault_class() {
+    // repair ∘ repair == repair: the second pass must report zero actions and
+    // leave every order field and region feature bit-identical — for each
+    // corruption class alone and for all four stacked together.
+    for class in ALL_CLASSES {
+        for seed in [3u64, 77] {
+            let mut data = O2oDataset::generate(SimConfig::tiny(31));
+            let what = inject(&mut data, class, seed);
+            data.repair();
+            let fp = repair_surface_fingerprint(&data);
+            let second = data.repair();
+            assert_eq!(
+                (second.orders_dropped, second.features_zeroed),
+                (0, 0),
+                "{class:?} (seed {seed}: {what}): second repair still acted"
+            );
+            assert_eq!(
+                fp,
+                repair_surface_fingerprint(&data),
+                "{class:?} (seed {seed}: {what}): second repair changed the dataset"
+            );
+        }
+    }
+}
+
+#[test]
+fn repair_is_idempotent_with_all_classes_stacked() {
+    let mut data = O2oDataset::generate(SimConfig::tiny(31));
+    for (i, class) in ALL_CLASSES.into_iter().enumerate() {
+        inject(&mut data, class, 40 + i as u64);
+    }
+    let first = data.repair();
+    assert!(first.orders_dropped > 0 || first.features_zeroed > 0);
+    let fp = repair_surface_fingerprint(&data);
+    let second = data.repair();
+    assert_eq!((second.orders_dropped, second.features_zeroed), (0, 0));
+    assert_eq!(fp, repair_surface_fingerprint(&data));
+}
+
 #[test]
 fn structural_faults_survive_repair_as_diagnostics() {
     // Empty pools / isolated regions cannot be fixed by dropping records:

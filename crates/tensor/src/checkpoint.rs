@@ -1,0 +1,613 @@
+//! Durable training checkpoints: a versioned, CRC32-checksummed binary
+//! format written atomically, with generation-based fallback, so a training
+//! run killed at any point resumes bit-identically from disk.
+//!
+//! # Format (version 1)
+//!
+//! ```text
+//! magic    8  b"SRCKPT1\0"
+//! version  4  u32 le = 1
+//! sections 4  u32 le count
+//! then per section:
+//!   name       str   ("meta" | "params" | "adam" | "rng" | "guard" | "user")
+//!   len        u64   payload byte length
+//!   crc32      u32   CRC32 (IEEE) over the payload bytes
+//!   payload    len bytes
+//! ```
+//!
+//! Sections, in order:
+//!
+//! * `meta`   — model name, run seed, `next_epoch` (the epoch to resume at).
+//! * `params` — the live [`ParamStore`]: names, values and gradients as raw
+//!   `f32` bits.
+//! * `adam`   — the full [`Adam`] state: hyper-parameters, step counter `t`,
+//!   first and second moment tensors.
+//! * `rng`    — the RNG derivation state. All randomness in the workspace is
+//!   a pure function of `(run seed, epoch, attempt)` (see
+//!   [`crate::resilience::retry_seed`]), so the section records exactly those
+//!   counters rather than a generator's internal words.
+//! * `guard`  — the complete [`TrainGuard`]: both rollback checkpoints,
+//!   best-loss references, decayed learning rate, the recovery-event trace
+//!   and the retry counters. Restoring it makes post-resume recovery
+//!   decisions identical to an uninterrupted run.
+//! * `user`   — an opaque payload owned by the training loop (the per-epoch
+//!   loss history), so a resumed run's final trace equals the uninterrupted
+//!   one.
+//!
+//! All floats are raw IEEE-754 bits: a save → load round-trip is bit-exact,
+//! which is what makes the crash-restart determinism contract testable with
+//! `==` on bytes.
+//!
+//! # Durability
+//!
+//! [`save`] writes through [`siterec_obs::atomic_write`] (same-directory
+//! temp file + fsync + rename), keeps the newest [`CheckpointPolicy::
+//! generations`] files and journals a `checkpoint_write` record.
+//! [`load_latest`] tries candidates newest-first; a truncated or bit-flipped
+//! file fails its magic/CRC/length checks, is journaled as
+//! `checkpoint_corrupt`, and the loader falls back to the previous
+//! generation instead of aborting. Only when *no* generation decodes does it
+//! return `None` (start from scratch) — it never panics on corrupt input.
+//!
+//! # Chaos hook
+//!
+//! Setting `SITEREC_CHAOS_TEAR_AT=<epoch>` makes [`save`] simulate a process
+//! crash in the middle of the checkpoint write for that epoch: half the
+//! encoded bytes are written *directly* to the destination path (bypassing
+//! the atomic rename, as a crashed non-atomic writer would) and the process
+//! aborts. The chaos harness (`chaos_train`) uses this to exercise the
+//! torn-file fallback path deterministically.
+
+use crate::optim::Adam;
+use crate::param::ParamStore;
+use crate::resilience::TrainGuard;
+use crate::wire::{crc32, DecodeError, Reader, Writer};
+use siterec_obs as obs;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use crate::wire::{DecodeError as ByteDecodeError, Reader as ByteReader, Writer as ByteWriter};
+
+/// File magic: the first eight bytes of every checkpoint.
+pub const MAGIC: &[u8; 8] = b"SRCKPT1\0";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Checkpoint file extension.
+pub const EXT: &str = "srck";
+
+/// Env var of the chaos tear hook (see the module docs).
+pub const TEAR_ENV: &str = "SITEREC_CHAOS_TEAR_AT";
+
+/// When and where checkpoints are written.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory holding the checkpoint generations.
+    pub dir: PathBuf,
+    /// Write a checkpoint every N committed epochs (the final epoch is
+    /// always checkpointed). Minimum 1.
+    pub every: usize,
+    /// Number of generations kept on disk. Minimum 2, so one torn newest
+    /// file always leaves a fallback.
+    pub generations: usize,
+}
+
+impl CheckpointPolicy {
+    /// Policy with the defaults: every epoch, two generations.
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointPolicy {
+        CheckpointPolicy {
+            dir: dir.into(),
+            every: 1,
+            generations: 2,
+        }
+    }
+
+    /// Builder-style cadence override.
+    pub fn every(mut self, n: usize) -> CheckpointPolicy {
+        self.every = n.max(1);
+        self
+    }
+
+    /// Builder-style generation-count override (clamped to ≥ 2).
+    pub fn generations(mut self, n: usize) -> CheckpointPolicy {
+        self.generations = n.max(2);
+        self
+    }
+
+    /// Should a checkpoint be written after `epoch` committed, in a run of
+    /// `total_epochs`? True on the cadence and always at the final epoch.
+    pub fn due(&self, epoch: usize, total_epochs: usize) -> bool {
+        let next = epoch + 1;
+        next == total_epochs || next.is_multiple_of(self.every.max(1))
+    }
+}
+
+/// Everything a training loop needs to continue exactly where a previous
+/// process died: the resume epoch, parameters, optimizer moments, guard
+/// state and the loop's own history payload.
+#[derive(Debug, Clone)]
+pub struct TrainState {
+    /// Model name (journaled; also a resume-compatibility check).
+    pub model: String,
+    /// Run seed (resume-compatibility check: a checkpoint from a different
+    /// seed must not silently continue a run it does not belong to).
+    pub seed: u64,
+    /// The next epoch to run: everything up to `next_epoch - 1` committed.
+    pub next_epoch: usize,
+    /// Live model parameters (post-commit values and last gradients).
+    pub params: ParamStore,
+    /// Full Adam state (step counter and both moment vectors).
+    pub opt: Adam,
+    /// Full guard state, including the recovery trace and retry counters.
+    pub guard: TrainGuard,
+    /// Opaque training-loop payload (per-epoch history), encoded by the
+    /// caller with [`ByteWriter`].
+    pub user: Vec<u8>,
+}
+
+/// A checkpoint I/O failure.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// The file exists but fails magic/version/CRC/structure checks.
+    Corrupt(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<DecodeError> for CheckpointError {
+    fn from(e: DecodeError) -> CheckpointError {
+        CheckpointError::Corrupt(e.0)
+    }
+}
+
+fn section(out: &mut Writer, name: &str, payload: &[u8]) {
+    out.str(name);
+    out.u64(payload.len() as u64);
+    out.u32(crc32(payload));
+    // Raw append: the length prefix above already delimits the payload.
+    for &b in payload {
+        out.u8(b);
+    }
+}
+
+/// Encode a [`TrainState`] into the version-1 checkpoint byte format.
+pub fn encode_state(state: &TrainState) -> Vec<u8> {
+    let mut meta = Writer::new();
+    meta.str(&state.model);
+    meta.u64(state.seed);
+    meta.usize(state.next_epoch);
+
+    let mut params = Writer::new();
+    state.params.encode(&mut params);
+
+    let mut adam = Writer::new();
+    state.opt.encode(&mut adam);
+
+    // The full derivation state of every RNG stream in a run: per-epoch
+    // graph seeds are pure functions of (seed, epoch, attempt).
+    let mut rng = Writer::new();
+    rng.u64(state.seed);
+    rng.usize(state.next_epoch);
+    rng.usize(state.guard.attempt(state.next_epoch));
+
+    let mut guard = Writer::new();
+    state.guard.encode(&mut guard);
+
+    let sections: [(&str, &[u8]); 6] = [
+        ("meta", meta.as_bytes()),
+        ("params", params.as_bytes()),
+        ("adam", adam.as_bytes()),
+        ("rng", rng.as_bytes()),
+        ("guard", guard.as_bytes()),
+        ("user", &state.user),
+    ];
+
+    let mut out = Writer::new();
+    for &b in MAGIC {
+        out.u8(b);
+    }
+    out.u32(VERSION);
+    out.u32(sections.len() as u32);
+    for (name, payload) in sections {
+        section(&mut out, name, payload);
+    }
+    out.into_bytes()
+}
+
+/// Decode a checkpoint produced by [`encode_state`], verifying magic,
+/// version, section structure and every per-section CRC32.
+pub fn decode_state(bytes: &[u8]) -> Result<TrainState, CheckpointError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(8).map_err(DecodeError::from_wire)?;
+    if magic != MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic".into()));
+    }
+    let version = r.u32().map_err(DecodeError::from_wire)?;
+    if version != VERSION {
+        return Err(CheckpointError::Corrupt(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let n_sections = r.u32().map_err(DecodeError::from_wire)?;
+    let mut meta = None;
+    let mut params = None;
+    let mut adam = None;
+    let mut rng = None;
+    let mut guard = None;
+    let mut user = None;
+    for _ in 0..n_sections {
+        let name = r.str().map_err(DecodeError::from_wire)?;
+        let len = r.usize().map_err(DecodeError::from_wire)?;
+        let want_crc = r.u32().map_err(DecodeError::from_wire)?;
+        let payload = r.take(len).map_err(DecodeError::from_wire)?;
+        if crc32(payload) != want_crc {
+            return Err(CheckpointError::Corrupt(format!(
+                "section {name:?}: CRC mismatch"
+            )));
+        }
+        match name.as_str() {
+            "meta" => meta = Some(payload),
+            "params" => params = Some(payload),
+            "adam" => adam = Some(payload),
+            "rng" => rng = Some(payload),
+            "guard" => guard = Some(payload),
+            "user" => user = Some(payload),
+            // Forward compatibility: unknown sections are checksummed and
+            // skipped.
+            _ => {}
+        }
+    }
+    r.finish().map_err(DecodeError::from_wire)?;
+
+    let missing =
+        |what: &str| CheckpointError::Corrupt(format!("missing required section {what:?}"));
+    let meta = meta.ok_or_else(|| missing("meta"))?;
+    let mut mr = Reader::new(meta);
+    let model = mr.str().map_err(DecodeError::from_wire)?;
+    let seed = mr.u64().map_err(DecodeError::from_wire)?;
+    let next_epoch = mr.usize().map_err(DecodeError::from_wire)?;
+    mr.finish().map_err(DecodeError::from_wire)?;
+
+    let mut pr = Reader::new(params.ok_or_else(|| missing("params"))?);
+    let params = ParamStore::decode(&mut pr)?;
+    pr.finish().map_err(DecodeError::from_wire)?;
+
+    let mut ar = Reader::new(adam.ok_or_else(|| missing("adam"))?);
+    let opt = Adam::decode(&mut ar)?;
+    ar.finish().map_err(DecodeError::from_wire)?;
+
+    // The rng section duplicates derivation state that also lives in meta +
+    // guard; verify consistency rather than trusting either copy blindly.
+    let mut rr = Reader::new(rng.ok_or_else(|| missing("rng"))?);
+    let rng_seed = rr.u64().map_err(DecodeError::from_wire)?;
+    let _rng_epoch = rr.usize().map_err(DecodeError::from_wire)?;
+    let _rng_attempt = rr.usize().map_err(DecodeError::from_wire)?;
+    rr.finish().map_err(DecodeError::from_wire)?;
+    if rng_seed != seed {
+        return Err(CheckpointError::Corrupt(
+            "rng section seed disagrees with meta".into(),
+        ));
+    }
+
+    let mut gr = Reader::new(guard.ok_or_else(|| missing("guard"))?);
+    let guard = TrainGuard::decode(&mut gr)?;
+    gr.finish().map_err(DecodeError::from_wire)?;
+
+    Ok(TrainState {
+        model,
+        seed,
+        next_epoch,
+        params,
+        opt,
+        guard,
+        user: user.ok_or_else(|| missing("user"))?.to_vec(),
+    })
+}
+
+// DecodeError helper so `?`-free map_err chains above stay readable.
+trait FromWire {
+    fn from_wire(e: DecodeError) -> CheckpointError;
+}
+
+impl FromWire for DecodeError {
+    fn from_wire(e: DecodeError) -> CheckpointError {
+        CheckpointError::Corrupt(e.0)
+    }
+}
+
+/// File name of the checkpoint whose resume point is `next_epoch`.
+pub fn file_name(next_epoch: usize) -> String {
+    format!("ckpt-{next_epoch:08}.{EXT}")
+}
+
+/// Sorted (ascending by epoch) list of checkpoint files in `dir`.
+fn generation_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        if name.starts_with("ckpt-") && name.ends_with(&format!(".{EXT}")) {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Write `state` as the newest checkpoint generation under `policy.dir`,
+/// atomically, then prune generations beyond `policy.generations`. Journals
+/// a `checkpoint_write` record. Returns the path written.
+pub fn save(policy: &CheckpointPolicy, state: &TrainState) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(&policy.dir)?;
+    let bytes = encode_state(state);
+    let path = policy.dir.join(file_name(state.next_epoch));
+
+    // Chaos hook: simulate a crash mid-write (see module docs). A real
+    // crashed writer that bypassed the atomic rename leaves exactly this:
+    // a prefix of the file at the final path.
+    if let Ok(tear) = std::env::var(TEAR_ENV) {
+        if tear.parse::<usize>() == Ok(state.next_epoch) {
+            let _ = std::fs::write(&path, &bytes[..bytes.len() / 2]);
+            eprintln!(
+                "[siterec] chaos: tearing checkpoint write at epoch {} and aborting",
+                state.next_epoch
+            );
+            std::process::abort();
+        }
+    }
+
+    obs::atomic_write(&path, &bytes)?;
+    obs::record!(
+        "checkpoint_write",
+        model = state.model.as_str(),
+        path = path.display().to_string(),
+        epoch = state.next_epoch,
+        bytes = bytes.len(),
+    );
+    obs::counter_add("checkpoint.writes", 1);
+
+    // Prune: keep the newest `generations` files (minimum 2 so a torn
+    // newest write always leaves a fallback).
+    let files = generation_files(&policy.dir)?;
+    let keep = policy.generations.max(2);
+    if files.len() > keep {
+        for old in &files[..files.len() - keep] {
+            let _ = std::fs::remove_file(old);
+        }
+    }
+    Ok(path)
+}
+
+/// Load the newest valid checkpoint generation from `dir`.
+///
+/// Candidates are tried newest-first; every corrupt one (torn write,
+/// bit-flip, wrong magic/version) is journaled as a `checkpoint_corrupt`
+/// record and skipped, falling back to the previous generation. Returns
+/// `Ok(None)` when the directory is absent, empty, or holds no valid
+/// checkpoint — the caller starts from scratch. Never panics on corrupt
+/// input.
+pub fn load_latest(dir: &Path) -> io::Result<Option<TrainState>> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut files = generation_files(dir)?;
+    files.reverse(); // newest first
+    for path in files {
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                record_corrupt(&path, &format!("unreadable: {e}"));
+                continue;
+            }
+        };
+        match decode_state(&bytes) {
+            Ok(state) => return Ok(Some(state)),
+            Err(e) => record_corrupt(&path, &e.to_string()),
+        }
+    }
+    Ok(None)
+}
+
+fn record_corrupt(path: &Path, reason: &str) {
+    obs::record!(
+        "checkpoint_corrupt",
+        path = path.display().to_string(),
+        reason = reason,
+    );
+    obs::counter_add("checkpoint.corrupt", 1);
+    obs::olog!(
+        Summary,
+        "checkpoint {} corrupt ({reason}); falling back to previous generation",
+        path.display()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::resilience::GuardConfig;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("siterec_ckpt_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn state(epoch: usize, fill: f32) -> TrainState {
+        let mut ps = ParamStore::new(7);
+        ps.add("w", 2, 3, Init::Constant(fill));
+        ps.add("b", 1, 1, Init::Constant(-fill));
+        let mut opt = Adam::new(0.01);
+        use crate::optim::Optimizer;
+        opt.step(&mut ps);
+        let guard = TrainGuard::new(GuardConfig::default(), &ps, &opt);
+        TrainState {
+            model: "test-model".into(),
+            seed: 42,
+            next_epoch: epoch,
+            params: ps,
+            opt,
+            guard,
+            user: vec![1, 2, 3, 4],
+        }
+    }
+
+    fn assert_states_equal(a: &TrainState, b: &TrainState) {
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.next_epoch, b.next_epoch);
+        assert_eq!(a.user, b.user);
+        assert_eq!(a.params.len(), b.params.len());
+        for (x, y) in a.params.iter().zip(b.params.iter()) {
+            assert_eq!(x.name, y.name);
+            let bits = |t: &crate::Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&x.value), bits(&y.value));
+            assert_eq!(bits(&x.grad), bits(&y.grad));
+        }
+        // Re-encoding must reproduce the identical bytes (deep equality of
+        // opt and guard included).
+        assert_eq!(encode_state(a), encode_state(b));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = state(5, 1.25);
+        let bytes = encode_state(&s);
+        assert_eq!(&bytes[..8], MAGIC);
+        let back = decode_state(&bytes).unwrap();
+        assert_states_equal(&s, &back);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_corrupt() {
+        let s = state(1, 1.0);
+        let mut bytes = encode_state(&s);
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xFF;
+        assert!(matches!(
+            decode_state(&wrong),
+            Err(CheckpointError::Corrupt(m)) if m.contains("magic")
+        ));
+        bytes[8] = 99; // version field
+        assert!(matches!(
+            decode_state(&bytes),
+            Err(CheckpointError::Corrupt(m)) if m.contains("version")
+        ));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // Small state so the exhaustive scan stays fast: flip each byte and
+        // require decode to fail (or, if it succeeds, to decode to the
+        // original state — impossible here since every byte is load-bearing).
+        let s = state(3, 0.5);
+        let bytes = encode_state(&s);
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0x01;
+            if let Ok(back) = decode_state(&m) {
+                // A flip that decodes to a different section name would be
+                // skipped as unknown — but every section is required, so the
+                // rename surfaces as a missing section. Reaching here at all
+                // is therefore a real detection failure.
+                assert_eq!(
+                    encode_state(&back),
+                    bytes,
+                    "bit flip at byte {i} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_any_point_is_corrupt() {
+        let s = state(2, 2.0);
+        let bytes = encode_state(&s);
+        for cut in [0, 4, 8, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_state(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_and_generation_pruning() {
+        let d = tmpdir("gens");
+        let policy = CheckpointPolicy::new(&d).generations(2);
+        for e in 1..=4 {
+            save(&policy, &state(e, e as f32)).unwrap();
+        }
+        let files = generation_files(&d).unwrap();
+        assert_eq!(files.len(), 2, "pruning keeps exactly 2 generations");
+        let latest = load_latest(&d).unwrap().unwrap();
+        assert_eq!(latest.next_epoch, 4);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous_generation() {
+        let d = tmpdir("fallback");
+        let policy = CheckpointPolicy::new(&d);
+        save(&policy, &state(1, 1.0)).unwrap();
+        save(&policy, &state(2, 2.0)).unwrap();
+        // Torn write: truncate the newest file.
+        let newest = d.join(file_name(2));
+        let full = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &full[..full.len() / 3]).unwrap();
+
+        obs::reset();
+        obs::set_enabled(true);
+        let got = load_latest(&d).unwrap().unwrap();
+        assert_eq!(got.next_epoch, 1, "fell back to the previous generation");
+        let journal = obs::journal_to_string();
+        let stats = obs::validate_journal(&journal).unwrap();
+        assert_eq!(stats.count("checkpoint_corrupt"), 1);
+        obs::reset();
+        obs::set_enabled(false);
+
+        // Both generations corrupt → Ok(None), no panic.
+        let prev = d.join(file_name(1));
+        std::fs::write(&prev, b"garbage").unwrap();
+        assert!(load_latest(&d).unwrap().is_none());
+        // Absent directory → Ok(None).
+        assert!(load_latest(&d.join("nope")).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn due_honors_cadence_and_final_epoch() {
+        let p = CheckpointPolicy::new("x").every(3);
+        assert!(!p.due(0, 10));
+        assert!(!p.due(1, 10));
+        assert!(p.due(2, 10)); // epoch 2 committed -> next == 3
+        assert!(p.due(5, 10));
+        assert!(p.due(9, 10), "final epoch always checkpoints");
+        let every1 = CheckpointPolicy::new("x");
+        assert!((0..10).all(|e| every1.due(e, 10)));
+    }
+}

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod gradcheck;
 mod graph;
 mod init;
@@ -57,7 +58,11 @@ mod param;
 mod profile;
 pub mod resilience;
 mod tensor;
+mod wire;
 
+pub use checkpoint::{
+    load_latest, save as save_checkpoint, CheckpointError, CheckpointPolicy, TrainState,
+};
 pub use gradcheck::{check_input_grad, GradCheck};
 pub use graph::{Graph, Var};
 pub use init::Init;

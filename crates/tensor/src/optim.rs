@@ -84,6 +84,55 @@ impl Adam {
         self
     }
 
+    /// Encode the full optimizer state — hyper-parameters, step counter and
+    /// both moment vectors — for the checkpoint wire format.
+    pub(crate) fn encode(&self, w: &mut crate::wire::Writer) {
+        w.f32(self.lr);
+        w.f32(self.beta1);
+        w.f32(self.beta2);
+        w.f32(self.eps);
+        w.f32(self.weight_decay);
+        w.u64(self.t);
+        w.usize(self.m.len());
+        for t in &self.m {
+            w.tensor(t);
+        }
+        for t in &self.v {
+            w.tensor(t);
+        }
+    }
+
+    /// Decode an optimizer written by [`Self::encode`] (bit-exact moments).
+    pub(crate) fn decode(
+        r: &mut crate::wire::Reader<'_>,
+    ) -> Result<Adam, crate::wire::DecodeError> {
+        let lr = r.f32()?;
+        let beta1 = r.f32()?;
+        let beta2 = r.f32()?;
+        let eps = r.f32()?;
+        let weight_decay = r.f32()?;
+        let t = r.u64()?;
+        let n = r.usize()?;
+        let mut m = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            m.push(r.tensor()?);
+        }
+        let mut v = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            v.push(r.tensor()?);
+        }
+        Ok(Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t,
+            m,
+            v,
+        })
+    }
+
     fn ensure_state(&mut self, params: &ParamStore) {
         if self.m.len() != params.len() {
             self.m = params

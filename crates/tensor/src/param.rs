@@ -183,6 +183,39 @@ impl ParamStore {
             .sqrt()
     }
 
+    /// Encode the store for the checkpoint wire format: parameter count,
+    /// then `(name, value, grad)` per parameter with raw `f32` bits.
+    pub(crate) fn encode(&self, w: &mut crate::wire::Writer) {
+        w.usize(self.params.len());
+        for p in &self.params {
+            w.str(&p.name);
+            w.tensor(&p.value);
+            w.tensor(&p.grad);
+        }
+    }
+
+    /// Decode a store written by [`Self::encode`]. The initializer RNG is
+    /// reset to a fixed seed: it is only ever drawn during model
+    /// construction ([`Self::add`]), which a resuming run replays before the
+    /// checkpointed values overwrite the freshly initialized ones, so the
+    /// post-build RNG state is dead state.
+    pub(crate) fn decode(
+        r: &mut crate::wire::Reader<'_>,
+    ) -> Result<ParamStore, crate::wire::DecodeError> {
+        let n = r.usize()?;
+        let mut params = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let name = r.str()?;
+            let value = r.tensor()?;
+            let grad = r.tensor()?;
+            params.push(Param { name, value, grad });
+        }
+        Ok(ParamStore {
+            params,
+            rng: StdRng::seed_from_u64(0),
+        })
+    }
+
     /// Clip gradients to a maximum global norm. Returns the pre-clip norm.
     pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
         let norm = self.grad_norm();

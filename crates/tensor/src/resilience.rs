@@ -367,6 +367,73 @@ impl TrainGuard {
         Ok(resume)
     }
 
+    /// Encode the guard's full state — config, both checkpoints, best-loss
+    /// references, decayed lr, the recovery trace and the retry counters —
+    /// for the checkpoint wire format. Restoring this state makes recovery
+    /// decisions after a process restart identical to an uninterrupted run.
+    pub(crate) fn encode(&self, w: &mut crate::wire::Writer) {
+        w.usize(self.cfg.max_recoveries);
+        w.f32(self.cfg.explosion_factor);
+        w.f32(self.cfg.lr_decay);
+        self.ckpt_params.encode(w);
+        self.ckpt_opt.encode(w);
+        w.opt_usize(self.ckpt_epoch);
+        self.prev_params.encode(w);
+        self.prev_opt.encode(w);
+        w.opt_usize(self.prev_epoch);
+        w.f32(self.prev_best);
+        w.f32(self.best_loss);
+        w.f32(self.lr);
+        w.usize(self.events.len());
+        for ev in &self.events {
+            encode_event(w, ev);
+        }
+        w.opt_usize(self.retry_epoch);
+        w.usize(self.retry_attempt);
+    }
+
+    /// Decode a guard written by [`Self::encode`].
+    pub(crate) fn decode(
+        r: &mut crate::wire::Reader<'_>,
+    ) -> Result<TrainGuard, crate::wire::DecodeError> {
+        let cfg = GuardConfig {
+            max_recoveries: r.usize()?,
+            explosion_factor: r.f32()?,
+            lr_decay: r.f32()?,
+        };
+        let ckpt_params = ParamStore::decode(r)?;
+        let ckpt_opt = Adam::decode(r)?;
+        let ckpt_epoch = r.opt_usize()?;
+        let prev_params = ParamStore::decode(r)?;
+        let prev_opt = Adam::decode(r)?;
+        let prev_epoch = r.opt_usize()?;
+        let prev_best = r.f32()?;
+        let best_loss = r.f32()?;
+        let lr = r.f32()?;
+        let n_events = r.usize()?;
+        let mut events = Vec::with_capacity(n_events.min(1 << 10));
+        for _ in 0..n_events {
+            events.push(decode_event(r)?);
+        }
+        let retry_epoch = r.opt_usize()?;
+        let retry_attempt = r.usize()?;
+        Ok(TrainGuard {
+            cfg,
+            ckpt_params,
+            ckpt_opt,
+            ckpt_epoch,
+            prev_params,
+            prev_opt,
+            prev_epoch,
+            prev_best,
+            best_loss,
+            lr,
+            events,
+            retry_epoch,
+            retry_attempt,
+        })
+    }
+
     /// Record a healthy epoch: snapshot the post-step state as the new
     /// rollback target (keeping the previous one for explosion rollbacks)
     /// and update the best-loss reference.
@@ -383,6 +450,61 @@ impl TrainGuard {
             self.retry_attempt = 0;
         }
     }
+}
+
+fn encode_fault(w: &mut crate::wire::Writer, fault: &Fault) {
+    match fault {
+        Fault::NonFiniteOp(op) => {
+            w.u8(0);
+            w.str(op);
+        }
+        Fault::NonFiniteLoss(l) => {
+            w.u8(1);
+            w.f32(*l);
+        }
+        Fault::NonFiniteGradient(p) => {
+            w.u8(2);
+            w.str(p);
+        }
+        Fault::LossExplosion { loss, best } => {
+            w.u8(3);
+            w.f32(*loss);
+            w.f32(*best);
+        }
+    }
+}
+
+fn decode_fault(r: &mut crate::wire::Reader<'_>) -> Result<Fault, crate::wire::DecodeError> {
+    Ok(match r.u8()? {
+        0 => Fault::NonFiniteOp(r.str()?),
+        1 => Fault::NonFiniteLoss(r.f32()?),
+        2 => Fault::NonFiniteGradient(r.str()?),
+        3 => Fault::LossExplosion {
+            loss: r.f32()?,
+            best: r.f32()?,
+        },
+        b => return Err(crate::wire::DecodeError(format!("invalid Fault tag {b}"))),
+    })
+}
+
+fn encode_event(w: &mut crate::wire::Writer, ev: &RecoveryEvent) {
+    w.usize(ev.epoch);
+    encode_fault(w, &ev.fault);
+    w.opt_usize(ev.rollback_to);
+    w.f32(ev.lr_before);
+    w.f32(ev.lr_after);
+}
+
+fn decode_event(
+    r: &mut crate::wire::Reader<'_>,
+) -> Result<RecoveryEvent, crate::wire::DecodeError> {
+    Ok(RecoveryEvent {
+        epoch: r.usize()?,
+        fault: decode_fault(r)?,
+        rollback_to: r.opt_usize()?,
+        lr_before: r.f32()?,
+        lr_after: r.f32()?,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,317 @@
+//! Little-endian binary encoding for the checkpoint format: a tiny
+//! writer/reader pair plus CRC32.
+//!
+//! Everything the [`crate::checkpoint`] module persists — tensors, the
+//! [`crate::ParamStore`], Adam moments, the [`crate::TrainGuard`] state —
+//! round-trips through these helpers. Floats are written as raw IEEE-754
+//! bits ([`f32::to_bits`]), never through a decimal representation, so a
+//! save/load cycle is bit-exact by construction.
+
+use crate::tensor::Tensor;
+use std::fmt;
+
+/// CRC32 (IEEE 802.3, the zlib polynomial) lookup table, built at compile
+/// time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 checksum of `data` (IEEE polynomial, standard init/final xor).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// A decode failure: truncated input, a length that does not fit, or a
+/// value that violates the format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, DecodeError> {
+    Err(DecodeError(msg.into()))
+}
+
+/// Append-only byte writer for the checkpoint wire format.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Write an `f32` as its raw IEEE-754 bits (bit-exact, NaN included).
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    /// Write a UTF-8 string: `u32` byte length + bytes.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write a length-prefixed byte blob: `u64` length + bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Write an optional epoch index: presence byte + `u64`.
+    pub fn opt_usize(&mut self, v: Option<usize>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.usize(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Write a tensor: shape as two `u64`s + raw `f32` bits row-major.
+    pub fn tensor(&mut self, t: &Tensor) {
+        self.usize(t.rows());
+        self.usize(t.cols());
+        for &x in t.data() {
+            self.f32(x);
+        }
+    }
+}
+
+/// Sequential reader over checkpoint bytes, with bounds-checked takes.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return err(format!(
+                "truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` as a `usize`.
+    pub fn usize(&mut self) -> Result<usize, DecodeError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| DecodeError(format!("length {v} exceeds usize")))
+    }
+
+    /// Read raw IEEE-754 bits as an `f32`.
+    pub fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Read a UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| DecodeError("invalid UTF-8 string".into()))
+    }
+
+    /// Read a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.usize()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Read an optional epoch index.
+    pub fn opt_usize(&mut self) -> Result<Option<usize>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.usize()?)),
+            b => err(format!("invalid Option tag {b}")),
+        }
+    }
+
+    /// Read a tensor written by [`Writer::tensor`].
+    pub fn tensor(&mut self) -> Result<Tensor, DecodeError> {
+        let rows = self.usize()?;
+        let cols = self.usize()?;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| DecodeError(format!("tensor shape {rows}x{cols} overflows")))?;
+        if self.remaining() < n * 4 {
+            return err(format!(
+                "truncated tensor: shape {rows}x{cols} needs {} bytes, have {}",
+                n * 4,
+                self.remaining()
+            ));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(self.f32()?);
+        }
+        Ok(Tensor::from_vec(rows, cols, data))
+    }
+
+    /// Assert the whole buffer was consumed (trailing garbage is corruption).
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return err(format!("{} trailing bytes after payload", self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.f32(f32::NAN);
+        w.f32(-0.0);
+        w.str("héllo");
+        w.opt_usize(Some(42));
+        w.opt_usize(None);
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f32().unwrap().to_bits(), f32::NAN.to_bits());
+        assert_eq!(r.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.opt_usize().unwrap(), Some(42));
+        assert_eq!(r.opt_usize().unwrap(), None);
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn tensor_roundtrip_is_bit_exact() {
+        let t = Tensor::from_vec(2, 3, vec![1.5, -0.0, f32::MIN_POSITIVE, 1e-40, 3.0, -7.25]);
+        let mut w = Writer::new();
+        w.tensor(&t);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = r.tensor().unwrap();
+        assert_eq!(back.shape(), t.shape());
+        for (a, b) in back.data().iter().zip(t.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = Writer::new();
+        w.tensor(&Tensor::zeros(4, 4));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..bytes.len() - 1]);
+        assert!(r.tensor().is_err());
+        // Trailing garbage also fails.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        let mut r2 = Reader::new(&extended);
+        r2.tensor().unwrap();
+        assert!(r2.finish().is_err());
+    }
+}

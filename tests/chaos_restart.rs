@@ -1,0 +1,62 @@
+//! Chaos-restart integration test: drives the `chaos_train` orchestrator
+//! (crates/bench/src/bin/chaos_train.rs), which SIGKILLs a training child at
+//! seeded epochs, tears one checkpoint write in half mid-flight, restarts
+//! from disk, and asserts the final checkpoint — raw `f32` parameter bits,
+//! Adam moments, TrainGuard recovery trace and loss history — is byte-equal
+//! to an uninterrupted run, at 1 and 8 kernel threads.
+//!
+//! The orchestrator exits non-zero on any violated assertion; this test just
+//! launches it and checks the verdict, so the identical scenario is
+//! available standalone (`cargo run -p siterec-bench --bin chaos_train`) and
+//! in CI.
+
+use std::process::Command;
+
+#[test]
+fn chaos_kills_and_torn_write_resume_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("siterec_chaos_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_chaos_train"))
+        .args([
+            "--epochs",
+            "6",
+            "--kills",
+            "2",
+            "--seed",
+            "7",
+            "--threads",
+            "1,8",
+        ])
+        .arg("--dir")
+        .arg(&dir)
+        // The orchestrator manages its children's env itself; scrub ours so a
+        // CI-level SITEREC_JOURNAL doesn't leak into the parent process.
+        .env_remove("SITEREC_JOURNAL")
+        .env_remove("SITEREC_CHAOS_TEAR_AT")
+        .output()
+        .expect("run chaos_train orchestrator");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "chaos_train failed\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+    );
+    assert!(
+        stdout.contains("all assertions passed"),
+        "missing verdict in output:\n{stdout}"
+    );
+    // Both thread counts ran and cross-checked.
+    assert!(
+        stdout.contains("at 1 thread(s)"),
+        "1-thread scenario missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("at 8 thread(s)"),
+        "8-thread scenario missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("bit-identical across thread counts"),
+        "cross-thread comparison missing:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
