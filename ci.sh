@@ -37,5 +37,15 @@ echo "ci: instrumented smoke bench + journal validation"
 SITEREC_SMOKE=1 SITEREC_JOURNAL="$PWD/target/ci_journal.jsonl" \
     cargo bench -q -p siterec-bench --bench table1_order_schema >/dev/null
 run cargo run -q -p siterec-bench --bin validate_journal -- "$PWD/target/ci_journal.jsonl"
+# Kernel perf-regression smoke (release — `cargo bench` builds release): the
+# cache-blocked matmul must not be slower than the naive loop it replaced,
+# measured on >=256^3 shapes on *this* host (self-calibrated, relative, no
+# absolute-time flakiness). Exits non-zero on regression via
+# SITEREC_KERNEL_GATE=1; writes BENCH_kernels.json and journals a
+# `bench_artifact` record, which the schema validation below must accept.
+echo "ci: kernel perf-regression gate"
+SITEREC_KERNEL_GATE=1 SITEREC_JOURNAL="$PWD/target/ci_kernels.jsonl" \
+    cargo bench -q -p siterec-bench --bench perf_kernels >/dev/null
+run cargo run -q -p siterec-bench --bin validate_journal -- "$PWD/target/ci_kernels.jsonl"
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps
 echo "ci: all gates passed"

@@ -8,7 +8,7 @@ use siterec_tensor::nn::{Embedding, Linear};
 use siterec_tensor::optim::{Adam, Optimizer};
 use siterec_tensor::{
     record_recovery, record_train_error, retry_seed, Bindings, Graph, GuardConfig, Init, ParamId,
-    ParamStore, RecoveryEvent, Tensor, TrainError, TrainGuard, Var,
+    ParamStore, RecoveryEvent, TapeArena, Tensor, TrainError, TrainGuard, Var,
 };
 
 /// A node set with ID embeddings and (optional) input features, fused by a
@@ -134,6 +134,9 @@ pub struct TrainLoop {
     pub grad_clip: f32,
     /// Dropout / graph seed.
     pub seed: u64,
+    /// Lease tape buffers from an epoch-persistent arena owned by the loop
+    /// (bit-identical results either way; off only for memory A/B runs).
+    pub arena: bool,
 }
 
 impl Default for TrainLoop {
@@ -144,6 +147,7 @@ impl Default for TrainLoop {
             lr: 5e-3,
             grad_clip: 5.0,
             seed: 13,
+            arena: true,
         }
     }
 }
@@ -255,9 +259,16 @@ impl TrainLoop {
                 }
             }
         }
+        // One pool for the whole run: epoch tapes lease from it and refill
+        // it on drop, so epochs after the first allocate (almost) nothing.
+        let arena = self.arena.then(TapeArena::new);
         while epoch < self.epochs {
             let base = self.seed ^ ((epoch as u64) << 3);
-            let mut g = Graph::with_seed(retry_seed(base, guard.attempt(epoch)));
+            let seed = retry_seed(base, guard.attempt(epoch));
+            let mut g = match &arena {
+                Some(a) => Graph::with_seed_and_arena(seed, a.clone()),
+                None => Graph::with_seed(seed),
+            };
             let binds = ps.bind(&mut g);
             let loss = step(&mut g, &binds);
             let loss_v = g.value(loss).item();

@@ -24,10 +24,13 @@
 //!      `checkpoint_corrupt` records.
 //!
 //! Finally the checkpoints produced under different thread counts are
-//! compared against each other (kernels are thread-count invariant).
+//! compared against each other (kernels are thread-count invariant), and
+//! one extra uninterrupted run with the tape-arena setting *flipped* is
+//! compared against the reference (pooled and malloc-per-epoch tapes are
+//! bit-identical).
 //!
 //! Usage: `chaos_train [--epochs 8] [--kills 2] [--seed 7] [--threads 1,8]
-//! [--dir <scratch>] [--no-tear]`
+//! [--dir <scratch>] [--no-tear] [--arena on|off]`
 //!
 //! Exits non-zero (via panic) on any violated assertion.
 
@@ -51,6 +54,7 @@ struct Args {
     seed: u64,
     kills: usize,
     tear: bool,
+    arena: bool,
 }
 
 fn parse_args() -> Args {
@@ -62,6 +66,7 @@ fn parse_args() -> Args {
         seed: 7,
         kills: 2,
         tear: true,
+        arena: true,
     };
     let mut it = std::env::args().skip(1);
     let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -76,6 +81,13 @@ fn parse_args() -> Args {
             "--seed" => a.seed = need(&mut it, "--seed").parse().expect("--seed"),
             "--kills" => a.kills = need(&mut it, "--kills").parse().expect("--kills"),
             "--no-tear" => a.tear = false,
+            "--arena" => {
+                a.arena = match need(&mut it, "--arena").as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => panic!("--arena takes on|off, got {other:?}"),
+                }
+            }
             "--threads" => {
                 a.threads = need(&mut it, "--threads")
                     .split(',')
@@ -95,7 +107,7 @@ fn parse_args() -> Args {
 /// Deterministic child workload: dataset, task and config derive from the
 /// seed alone, so every (re)spawn rebuilds the identical model before the
 /// checkpoint overwrites its fresh parameters.
-fn child_main(dir: &Path, epochs: usize, threads: usize, seed: u64) {
+fn child_main(dir: &Path, epochs: usize, threads: usize, seed: u64, arena: bool) {
     let policy = CheckpointPolicy::new(dir);
     let data = O2oDataset::generate(SimConfig::tiny(seed ^ 0x51));
     let task = SiteRecTask::build(&data, 0.8, 9);
@@ -108,6 +120,7 @@ fn child_main(dir: &Path, epochs: usize, threads: usize, seed: u64) {
         epochs,
         lr: 1e-2,
         seed,
+        arena,
         variant: Variant::Full,
         parallel: ParallelConfig::with_threads(threads),
         ..Default::default()
@@ -143,6 +156,7 @@ fn spawn_child(
     epochs: usize,
     threads: usize,
     seed: u64,
+    arena: bool,
     journal: Option<&Path>,
     tear_at: Option<usize>,
     kill_at: Option<usize>,
@@ -155,6 +169,7 @@ fn spawn_child(
         .args(["--epochs", &epochs.to_string()])
         .args(["--threads", &threads.to_string()])
         .args(["--seed", &seed.to_string()])
+        .args(["--arena", if arena { "on" } else { "off" }])
         .stdout(Stdio::piped());
     // Never inherit chaos/journal env meant for other runs.
     cmd.env_remove(TEAR_ENV).env_remove("SITEREC_JOURNAL");
@@ -220,8 +235,8 @@ fn orchestrate(a: &Args) {
 
     for &threads in &a.threads {
         println!(
-            "--- chaos scenario: {} epochs, {} kill(s), tear={}, {threads} thread(s) ---",
-            a.epochs, a.kills, a.tear
+            "--- chaos scenario: {} epochs, {} kill(s), tear={}, arena={}, {threads} thread(s) ---",
+            a.epochs, a.kills, a.tear, a.arena
         );
         let ref_dir = a.dir.join(format!("ref-t{threads}"));
         let chaos_dir = a.dir.join(format!("chaos-t{threads}"));
@@ -236,6 +251,7 @@ fn orchestrate(a: &Args) {
             a.epochs,
             threads,
             a.seed,
+            a.arena,
             Some(&ref_journal),
             None,
             None,
@@ -262,7 +278,16 @@ fn orchestrate(a: &Args) {
             .collect();
         kill_epochs.sort_unstable();
         for (i, &k) in kill_epochs.iter().enumerate() {
-            let run = spawn_child(&chaos_dir, a.epochs, threads, a.seed, None, None, Some(k));
+            let run = spawn_child(
+                &chaos_dir,
+                a.epochs,
+                threads,
+                a.seed,
+                a.arena,
+                None,
+                None,
+                Some(k),
+            );
             assert!(
                 !run.completed && !run.exit_ok,
                 "kill #{i} at epoch {k} did not terminate the child: {run:?}"
@@ -282,6 +307,7 @@ fn orchestrate(a: &Args) {
                 a.epochs,
                 threads,
                 a.seed,
+                a.arena,
                 None,
                 Some(tear_at),
                 None,
@@ -305,6 +331,7 @@ fn orchestrate(a: &Args) {
             a.epochs,
             threads,
             a.seed,
+            a.arena,
             Some(&chaos_journal),
             None,
             None,
@@ -363,6 +390,34 @@ fn orchestrate(a: &Args) {
             counts.join(", ")
         );
     }
+
+    // 6. Tape-arena invariance: one uninterrupted run with the arena setting
+    // flipped must reproduce the reference checkpoint byte-for-byte (pooled
+    // buffers are zero-filled on lease, so recycling is invisible to the
+    // numbers).
+    if let Some(&(threads, ref ref_bytes)) = finals.first() {
+        let flip_dir = a.dir.join(format!("xarena-t{threads}"));
+        let _ = std::fs::remove_dir_all(&flip_dir);
+        let run = spawn_child(
+            &flip_dir, a.epochs, threads, a.seed, !a.arena, None, None, None,
+        );
+        assert!(
+            run.completed && run.exit_ok,
+            "arena-flip run failed: {run:?}"
+        );
+        let flip_bytes = final_checkpoint_bytes(&flip_dir, a.epochs);
+        assert!(
+            *ref_bytes == flip_bytes,
+            "final checkpoints differ between arena={} and arena={}",
+            a.arena,
+            !a.arena
+        );
+        println!(
+            "PASS: checkpoint bit-identical with tape arena {} vs {}",
+            if a.arena { "on" } else { "off" },
+            if a.arena { "off" } else { "on" },
+        );
+    }
     println!("chaos-restart harness: all assertions passed");
 }
 
@@ -370,7 +425,7 @@ fn main() {
     let a = parse_args();
     if a.child {
         let threads = a.threads.first().copied().unwrap_or(1);
-        child_main(&a.dir, a.epochs, threads, a.seed);
+        child_main(&a.dir, a.epochs, threads, a.seed, a.arena);
     } else {
         orchestrate(&a);
     }

@@ -138,5 +138,12 @@ pub fn write_artifact(file_name: &str, body: &str) -> std::io::Result<std::path:
     // Atomic temp-file + fsync + rename (same helper the checkpoint writer
     // and journal use): a crash mid-write never leaves a torn artifact.
     siterec_obs::atomic_write(&path, json.as_bytes())?;
+    if siterec_obs::enabled() {
+        siterec_obs::record!(
+            "bench_artifact",
+            name = file_name.to_string(),
+            path = path.display().to_string(),
+        );
+    }
     Ok(path)
 }

@@ -83,6 +83,19 @@ pub struct SiteRecConfig {
     /// rollback, learning-rate decay and the recovery budget.
     #[serde(default)]
     pub guard: GuardConfig,
+    /// Lease tape buffers from an epoch-persistent
+    /// [`TapeArena`](siterec_tensor::TapeArena) so steady-state epochs
+    /// allocate nothing. Results are bit-identical either way; disable only
+    /// for A/B memory debugging.
+    #[serde(default = "default_true")]
+    pub arena: bool,
+}
+
+// Referenced only through the `#[serde(default = ...)]` attribute, which the
+// offline serde shim expands to nothing — hence the allow.
+#[allow(dead_code)]
+fn default_true() -> bool {
+    true
 }
 
 impl Default for SiteRecConfig {
@@ -102,6 +115,7 @@ impl Default for SiteRecConfig {
             grad_clip: 5.0,
             parallel: ParallelConfig::default(),
             guard: GuardConfig::default(),
+            arena: true,
         }
     }
 }

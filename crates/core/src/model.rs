@@ -11,8 +11,8 @@ use siterec_sim::O2oDataset;
 use siterec_tensor::checkpoint::{self, ByteReader, ByteWriter, CheckpointPolicy, TrainState};
 use siterec_tensor::optim::{Adam, Optimizer};
 use siterec_tensor::{
-    record_recovery, record_train_error, retry_seed, Bindings, Graph, ParamStore, RecoveryEvent,
-    Tensor, TrainError, TrainGuard, Var,
+    record_recovery, record_train_error, retry_seed, ArenaStats, Bindings, Graph, ParamStore,
+    RecoveryEvent, TapeArena, Tensor, TrainError, TrainGuard, Var,
 };
 
 /// Model name used in journal records (spans, `train_epoch`, `recovery`).
@@ -87,6 +87,9 @@ pub struct O2SiteRec {
     train_targets: Tensor,
     history: Vec<TrainEpoch>,
     recoveries: Vec<RecoveryEvent>,
+    /// Epoch-persistent buffer pool the per-epoch tapes lease from (used
+    /// when `cfg.arena` is set; results are bit-identical either way).
+    arena: TapeArena,
 }
 
 impl O2SiteRec {
@@ -142,6 +145,7 @@ impl O2SiteRec {
             train_targets,
             history: Vec::new(),
             recoveries: Vec::new(),
+            arena: TapeArena::new(),
         }
     }
 
@@ -170,6 +174,13 @@ impl O2SiteRec {
     /// Empty for a healthy run.
     pub fn recovery_events(&self) -> &[RecoveryEvent] {
         &self.recoveries
+    }
+
+    /// Counters of the epoch-persistent tape arena (lease/miss/recycle).
+    /// After the first epoch warms the pool, further epochs should miss
+    /// (allocate) essentially never.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
     }
 
     fn forward_losses(&self, g: &mut Graph) -> (Bindings, Var, Var, Var) {
@@ -301,7 +312,12 @@ impl O2SiteRec {
         }
         while epoch < self.cfg.epochs {
             let base = epoch_graph_seed(self.cfg.seed, epoch);
-            let mut g = Graph::with_seed(retry_seed(base, guard.attempt(epoch)));
+            let seed = retry_seed(base, guard.attempt(epoch));
+            let mut g = if self.cfg.arena {
+                Graph::with_seed_and_arena(seed, self.arena.clone())
+            } else {
+                Graph::with_seed(seed)
+            };
             g.training = true;
             let (binds, loss, o2, o1) = self.forward_losses(&mut g);
             let loss_v = g.value(loss).item();

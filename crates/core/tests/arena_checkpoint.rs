@@ -1,0 +1,134 @@
+//! Arena/kernel compatibility with the durability layer: the epoch-persistent
+//! `TapeArena` and the tiled matmul path must be invisible to everything
+//! downstream — `SRCKPT1` checkpoints byte-identical with the arena on or
+//! off, resume working across a mid-run flip of the setting, and tape
+//! profiling (`op_profile` records) unperturbed.
+
+use siterec_core::{O2SiteRec, SiteRecConfig, Variant};
+use siterec_graphs::SiteRecTask;
+use siterec_sim::{O2oDataset, SimConfig};
+use siterec_tensor::checkpoint::{self, CheckpointPolicy};
+use std::path::Path;
+
+fn task() -> (O2oDataset, SiteRecTask) {
+    let d = O2oDataset::generate(SimConfig::tiny(51));
+    let t = SiteRecTask::build(&d, 0.8, 9);
+    (d, t)
+}
+
+fn tiny_cfg(arena: bool) -> SiteRecConfig {
+    SiteRecConfig {
+        d1: 8,
+        d2: 16,
+        node_heads: 2,
+        time_heads: 2,
+        layers: 1,
+        epochs: 6,
+        lr: 1e-2,
+        arena,
+        variant: Variant::Full,
+        ..Default::default()
+    }
+}
+
+fn final_ckpt(dir: &Path, epochs: usize) -> Vec<u8> {
+    std::fs::read(dir.join(checkpoint::file_name(epochs))).expect("final checkpoint")
+}
+
+#[test]
+fn checkpoints_byte_identical_with_arena_on_or_off() {
+    let (d, t) = task();
+    let base = std::env::temp_dir().join(format!("siterec_arena_ckpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut bytes = Vec::new();
+    for arena in [true, false] {
+        let dir = base.join(format!("arena-{arena}"));
+        let mut m = O2SiteRec::new(&d, &t, tiny_cfg(arena));
+        m.try_train_resumable(&CheckpointPolicy::new(&dir)).unwrap();
+        if arena {
+            let stats = m.arena_stats();
+            assert!(stats.recycles > 0, "arena unused in arena run: {stats:?}");
+        }
+        bytes.push(final_ckpt(&dir, 6));
+    }
+    assert!(
+        bytes[0] == bytes[1],
+        "SRCKPT1 checkpoints differ between arena on and off"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn resume_works_across_an_arena_setting_flip() {
+    // A checkpoint written by a malloc-per-epoch run must resume bit-exactly
+    // under a pooled run (and the result must match a run that was pooled
+    // from the start): the arena setting is an execution detail, not model
+    // state, so it never leaks into the wire format.
+    let (d, t) = task();
+    let base = std::env::temp_dir().join(format!("siterec_arena_flip_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let ref_dir = base.join("ref");
+    let mut reference = O2SiteRec::new(&d, &t, tiny_cfg(true));
+    reference
+        .try_train_resumable(&CheckpointPolicy::new(&ref_dir))
+        .unwrap();
+
+    // First 3 epochs with the arena off...
+    let flip_dir = base.join("flip");
+    let mut half_cfg = tiny_cfg(false);
+    half_cfg.epochs = 3;
+    let mut first = O2SiteRec::new(&d, &t, half_cfg);
+    first
+        .try_train_resumable(&CheckpointPolicy::new(&flip_dir))
+        .unwrap();
+
+    // ...then a fresh model resumes from disk with the arena on.
+    let mut second = O2SiteRec::new(&d, &t, tiny_cfg(true));
+    second
+        .try_train_resumable(&CheckpointPolicy::new(&flip_dir))
+        .unwrap();
+
+    assert!(
+        final_ckpt(&ref_dir, 6) == final_ckpt(&flip_dir, 6),
+        "resume across an arena flip diverged from the all-arena run"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn tape_profile_records_unperturbed_by_arena() {
+    // Profiling observes pooled tapes exactly as it observes plain ones:
+    // op_profile aggregates appear for the same op kinds, and the trained
+    // parameter bits are identical with profiling on or off.
+    let (d, t) = task();
+    let mut all_bits: Vec<Vec<u32>> = Vec::new();
+    for profiling in [false, true] {
+        siterec_obs::reset();
+        siterec_obs::set_enabled(profiling);
+        siterec_obs::set_profiling(profiling);
+        let mut m = O2SiteRec::new(&d, &t, tiny_cfg(true));
+        m.try_train().unwrap();
+        all_bits.push(
+            m.param_store()
+                .iter()
+                .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+                .collect(),
+        );
+        if profiling {
+            let stats = siterec_obs::validate_journal(&siterec_obs::journal_to_string())
+                .expect("journal from a profiled arena run validates");
+            assert!(
+                stats.count("op_profile") > 0,
+                "no op_profile records from a profiled arena run: {stats:?}"
+            );
+        }
+        siterec_obs::set_enabled(false);
+        siterec_obs::set_profiling(false);
+        siterec_obs::reset();
+    }
+    assert_eq!(
+        all_bits[0], all_bits[1],
+        "profiling perturbed arena-pooled training bits"
+    );
+}

@@ -23,6 +23,7 @@
 //! | `checkpoint_write` | `model` (str), `path` (str), `epoch` (num), `bytes` (num) |
 //! | `checkpoint_corrupt` | `path` (str), `reason` (str)                          |
 //! | `resume`      | `model` (str), `epoch` (num), `path` (str)                   |
+//! | `bench_artifact` | `name` (str), `path` (str)                                |
 //!
 //! Unknown types fail validation: the schema is closed so that a typo in an
 //! emitting call site is caught by CI rather than silently ignored.
@@ -252,6 +253,10 @@ const SCHEMA: &[(&str, &[(&str, Kind)])] = &[
             ("epoch", Kind::Num),
             ("path", Kind::Str),
         ],
+    ),
+    (
+        "bench_artifact",
+        &[("name", Kind::Str), ("path", Kind::Str)],
     ),
 ];
 

@@ -11,12 +11,15 @@
 //! and *segment* operations (per-neighbourhood softmax / sums) that implement
 //! message passing without materializing adjacency matrices.
 
+use crate::arena::TapeArena;
+use crate::memo;
 use crate::parallel;
 use crate::profile::TapeProfile;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use siterec_obs as obs;
+use std::sync::Arc;
 
 /// Handle to a node on the tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,12 +46,14 @@ enum Op {
     Tanh(Var),
     /// Horizontal concatenation; stores column offsets of each part.
     ConcatCols(Vec<Var>),
-    /// `out[i, :] = input[idx[i], :]`.
-    GatherRows(Var, Vec<usize>),
+    /// `out[i, :] = input[idx[i], :]`. The index list is interned
+    /// ([`memo::intern_indices`]) so repeated per-epoch replays share one
+    /// allocation — and its stable address keys the CSR memo in backward.
+    GatherRows(Var, Arc<Vec<usize>>),
     /// `out[s, :] = Σ_{i : seg[i]==s} input[i, :]`, `out` has `n_seg` rows.
-    SegmentSum(Var, Vec<usize>, usize),
+    SegmentSum(Var, Arc<Vec<usize>>, usize),
     /// Per-segment softmax over an `E x 1` score column.
-    SegmentSoftmax(Var, Vec<usize>),
+    SegmentSoftmax(Var, Arc<Vec<usize>>),
     /// `out[i, :] = a[i, :] * w[i, 0]` for `a: E x d`, `w: E x 1`.
     MulColBroadcast(Var, Var),
     /// `out[i, :] = a[i, :] + b[0, :]` for `a: n x d`, `b: 1 x d` (bias).
@@ -125,6 +130,32 @@ pub struct Graph {
     /// Opt-in per-op wall-time profile (None unless `siterec-obs` profiling
     /// was enabled when the tape was created).
     profile: Option<Box<TapeProfile>>,
+    /// Buffer pool this tape leases its storage from; `None` allocates
+    /// plainly. Set by [`Graph::with_seed_and_arena`].
+    arena: Option<TapeArena>,
+}
+
+/// Lease a zeroed `rows x cols` tensor from the arena, or allocate fresh.
+fn lease_zeros(arena: &Option<TapeArena>, rows: usize, cols: usize) -> Tensor {
+    match arena {
+        Some(a) => a.zeros(rows, cols),
+        None => Tensor::zeros(rows, cols),
+    }
+}
+
+/// Lease a copy of `t` from the arena, or clone it.
+fn lease_copy(arena: &Option<TapeArena>, t: &Tensor) -> Tensor {
+    match arena {
+        Some(a) => a.copy_of(t),
+        None => t.clone(),
+    }
+}
+
+/// Return a tensor's buffer to the arena (no-op without one).
+fn recycle(arena: &Option<TapeArena>, t: Tensor) {
+    if let Some(a) = arena {
+        a.recycle_f32(t.into_vec());
+    }
 }
 
 impl Default for Graph {
@@ -149,7 +180,40 @@ impl Graph {
             training: true,
             fault: None,
             profile: TapeProfile::new_if_enabled(),
+            arena: None,
         }
+    }
+
+    /// New tape leasing all forward values, gradients, and op scratch from
+    /// `arena` instead of the allocator; every buffer is recycled when the
+    /// graph drops. Pooled and non-pooled tapes are bit-identical (leases
+    /// are zero-filled, exactly like fresh allocations).
+    pub fn with_seed_and_arena(seed: u64, arena: TapeArena) -> Self {
+        let mut g = Self::with_seed(seed);
+        g.arena = Some(arena);
+        g
+    }
+
+    /// The arena this tape leases from, if any.
+    pub fn arena(&self) -> Option<&TapeArena> {
+        self.arena.as_ref()
+    }
+
+    /// Zeroed tensor from this tape's arena (or a fresh allocation).
+    fn t_zeros(&self, rows: usize, cols: usize) -> Tensor {
+        lease_zeros(&self.arena, rows, cols)
+    }
+
+    /// Pooled copy of `t` (or a plain clone).
+    fn t_copy(&self, t: &Tensor) -> Tensor {
+        lease_copy(&self.arena, t)
+    }
+
+    /// Pooled `1x1` scalar tensor.
+    fn t_scalar(&self, v: f32) -> Tensor {
+        let mut t = self.t_zeros(1, 1);
+        t.data_mut()[0] = v;
+        t
     }
 
     /// First non-finite event recorded on this tape, if any.
@@ -221,6 +285,22 @@ impl Graph {
         self.push(value, Op::Leaf, false)
     }
 
+    /// Like [`Graph::param`] but copies from a borrowed tensor through the
+    /// tape's arena — the zero-allocation path for per-epoch re-binding.
+    pub fn param_ref(&mut self, value: &Tensor) -> Var {
+        self.check_input("parameter leaf", value);
+        let v = self.t_copy(value);
+        self.push(v, Op::Leaf, true)
+    }
+
+    /// Like [`Graph::constant`] but copies from a borrowed tensor through
+    /// the tape's arena.
+    pub fn constant_ref(&mut self, value: &Tensor) -> Var {
+        self.check_input("constant leaf", value);
+        let v = self.t_copy(value);
+        self.push(v, Op::Leaf, false)
+    }
+
     /// Forward value of a node.
     pub fn value(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].value
@@ -235,7 +315,9 @@ impl Graph {
 
     /// Elementwise sum (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        let (rows, cols) = self.value(a).shape();
+        let mut v = self.t_zeros(rows, cols);
+        self.value(a).zip_into(self.value(b), &mut v, |x, y| x + y);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Add(a, b), ng)
     }
@@ -252,14 +334,18 @@ impl Graph {
 
     /// Elementwise difference (same shape).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        let (rows, cols) = self.value(a).shape();
+        let mut v = self.t_zeros(rows, cols);
+        self.value(a).zip_into(self.value(b), &mut v, |x, y| x - y);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Sub(a, b), ng)
     }
 
     /// Elementwise product (same shape).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        let (rows, cols) = self.value(a).shape();
+        let mut v = self.t_zeros(rows, cols);
+        self.value(a).zip_into(self.value(b), &mut v, |x, y| x * y);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Mul(a, b), ng)
     }
@@ -269,7 +355,9 @@ impl Graph {
         if !c.is_finite() {
             self.note_fault(|| format!("non-finite scalar operand of scale: {c}"));
         }
-        let v = self.value(a).map(|x| x * c);
+        let (rows, cols) = self.value(a).shape();
+        let mut v = self.t_zeros(rows, cols);
+        self.value(a).map_into(&mut v, |x| x * c);
         let ng = self.needs(a);
         self.push(v, Op::Scale(a, c), ng)
     }
@@ -279,53 +367,67 @@ impl Graph {
         if !c.is_finite() {
             self.note_fault(|| format!("non-finite scalar operand of add_scalar: {c}"));
         }
-        let v = self.value(a).map(|x| x + c);
+        let (rows, cols) = self.value(a).shape();
+        let mut v = self.t_zeros(rows, cols);
+        self.value(a).map_into(&mut v, |x| x + c);
         let ng = self.needs(a);
         self.push(v, Op::AddScalar(a), ng)
     }
 
-    /// Matrix product.
+    /// Matrix product (tiled kernel above the size threshold; see
+    /// [`crate::kernels`]).
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
+        let (n, m) = (self.value(a).rows(), self.value(b).cols());
+        let mut v = self.t_zeros(n, m);
+        self.value(a).matmul_into(self.value(b), &mut v);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::MatMul(a, b), ng)
     }
 
     /// Matrix transpose.
     pub fn transpose(&mut self, a: Var) -> Var {
-        let v = self.value(a).transpose();
+        let (rows, cols) = self.value(a).shape();
+        let mut v = self.t_zeros(cols, rows);
+        self.value(a).transpose_into(&mut v);
         let ng = self.needs(a);
         self.push(v, Op::Transpose(a), ng)
     }
 
     // ---- nonlinearities -------------------------------------------------
 
+    /// Shape-preserving elementwise op: pooled output + `map_into`.
+    fn map_op(&mut self, a: Var, op: Op, f: impl Fn(f32) -> f32 + Sync) -> Var {
+        let (rows, cols) = self.value(a).shape();
+        let mut v = self.t_zeros(rows, cols);
+        self.value(a).map_into(&mut v, f);
+        let ng = self.needs(a);
+        self.push(v, op, ng)
+    }
+
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
-        let ng = self.needs(a);
-        self.push(v, Op::Relu(a), ng)
+        self.map_op(a, Op::Relu(a), |x| x.max(0.0))
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
-        let v = self.value(a).map(|x| if x >= 0.0 { x } else { alpha * x });
-        let ng = self.needs(a);
-        self.push(v, Op::LeakyRelu(a, alpha), ng)
+        self.map_op(a, Op::LeakyRelu(a, alpha), |x| {
+            if x >= 0.0 {
+                x
+            } else {
+                alpha * x
+            }
+        })
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
-        let ng = self.needs(a);
-        self.push(v, Op::Sigmoid(a), ng)
+        self.map_op(a, Op::Sigmoid(a), |x| 1.0 / (1.0 + (-x).exp()))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
-        let ng = self.needs(a);
-        self.push(v, Op::Tanh(a), ng)
+        self.map_op(a, Op::Tanh(a), f32::tanh)
     }
 
     // ---- structure ------------------------------------------------------
@@ -333,37 +435,48 @@ impl Graph {
     /// Horizontal concatenation of same-row-count vars.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
         let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
-        let v = Tensor::concat_cols(&tensors);
+        assert!(!tensors.is_empty(), "concat_cols of nothing");
+        let rows = tensors[0].rows();
+        let cols: usize = tensors.iter().map(|t| t.cols()).sum();
+        let mut v = lease_zeros(&self.arena, rows, cols);
+        Tensor::concat_cols_into(&tensors, &mut v);
         let ng = parts.iter().any(|&p| self.needs(p));
         self.push(v, Op::ConcatCols(parts.to_vec()), ng)
     }
 
-    /// Row selection: `out[i, :] = a[idx[i], :]`.
+    /// Row selection: `out[i, :] = a[idx[i], :]`. The index list is interned
+    /// rather than copied per call (static edge lists are replayed every
+    /// epoch).
     pub fn gather_rows(&mut self, a: Var, idx: &[usize]) -> Var {
-        let v = self.value(a).gather_rows(idx);
+        let idx = memo::intern_indices(idx);
+        let av = self.value(a);
+        let mut v = lease_zeros(&self.arena, idx.len(), av.cols());
+        av.gather_rows_into(&idx, &mut v);
         let ng = self.needs(a);
-        self.push(v, Op::GatherRows(a, idx.to_vec()), ng)
+        self.push(v, Op::GatherRows(a, idx), ng)
     }
 
     /// Segment sum: rows of `a` grouped by `segments` (values `< n_segments`)
     /// are summed; the result has `n_segments` rows. Empty segments are zero.
     pub fn segment_sum(&mut self, a: Var, segments: &[usize], n_segments: usize) -> Var {
+        let segments = memo::intern_indices(segments);
         let av = self.value(a);
         assert_eq!(av.rows(), segments.len(), "segment_sum length mismatch");
-        for &s in segments {
+        for &s in segments.iter() {
             assert!(s < n_segments, "segment id {s} >= {n_segments}");
         }
-        // CSR inversion: each output row sums its inputs in ascending input
-        // order — the exact per-element order of the serial scatter loop —
-        // so the row-parallel split is bitwise deterministic.
+        // CSR inversion (memoized per run — edge lists are static): each
+        // output row sums its inputs in ascending input order — the exact
+        // per-element order of the serial scatter loop — so the row-parallel
+        // split is bitwise deterministic.
         let cols = av.cols();
-        let (offsets, order) = parallel::csr_invert(segments, n_segments);
+        let csr = memo::csr_for(&segments, n_segments);
         let per_row = (segments.len() * cols / n_segments.max(1)).max(1);
-        let mut out = Tensor::zeros(n_segments, cols);
+        let mut out = lease_zeros(&self.arena, n_segments, cols);
         parallel::for_each_row_block_mut(out.data_mut(), cols, per_row, |s0, block| {
             for (bs, dst) in block.chunks_mut(cols).enumerate() {
                 let s = s0 + bs;
-                for &i in &order[offsets[s]..offsets[s + 1]] {
+                for &i in &csr.order[csr.offsets[s]..csr.offsets[s + 1]] {
                     for (d, &x) in dst.iter_mut().zip(av.row_slice(i)) {
                         *d += x;
                     }
@@ -371,38 +484,54 @@ impl Graph {
             }
         });
         let ng = self.needs(a);
-        self.push(out, Op::SegmentSum(a, segments.to_vec(), n_segments), ng)
+        self.push(out, Op::SegmentSum(a, segments, n_segments), ng)
     }
 
     /// Per-segment mean (segment sum scaled by 1/|segment|; empty segments 0).
     pub fn segment_mean(&mut self, a: Var, segments: &[usize], n_segments: usize) -> Var {
-        let mut counts = vec![0usize; n_segments];
+        let mut counts = match &self.arena {
+            Some(ar) => ar.lease_usize(n_segments),
+            None => vec![0usize; n_segments],
+        };
         for &s in segments {
             counts[s] += 1;
         }
-        let inv: Vec<f32> = counts
-            .iter()
-            .map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f32 })
-            .collect();
+        let mut inv = match &self.arena {
+            Some(ar) => ar.lease_f32(n_segments),
+            None => vec![0.0f32; n_segments],
+        };
+        for (o, &c) in inv.iter_mut().zip(counts.iter()) {
+            *o = if c == 0 { 0.0 } else { 1.0 / c as f32 };
+        }
         let summed = self.segment_sum(a, segments, n_segments);
-        self.scale_rows_const(summed, &inv)
+        let out = self.scale_rows_const(summed, &inv);
+        if let Some(ar) = &self.arena {
+            ar.recycle_usize(counts);
+            ar.recycle_f32(inv);
+        }
+        out
     }
 
     /// Numerically-stable softmax within each segment of an `E x 1` column.
     pub fn segment_softmax(&mut self, scores: &[usize], a: Var) -> Var {
+        let seg = memo::intern_indices(scores);
         let av = self.value(a);
         assert_eq!(av.cols(), 1, "segment_softmax expects an E x 1 column");
         assert_eq!(av.rows(), scores.len(), "segment_softmax length mismatch");
         let n_seg = scores.iter().copied().max().map_or(0, |m| m + 1);
         // Stage 1, parallel over segments: per-segment max and exp-sum, each
         // accumulated over the segment's inputs in ascending input order
-        // (CSR) — the serial loop's per-element order.
-        let (offsets, order) = parallel::csr_invert(scores, n_seg);
+        // (CSR, memoized per run) — the serial loop's per-element order.
+        let csr = memo::csr_for(&seg, n_seg);
         let per_seg = (2 * scores.len() / n_seg.max(1)).max(1) * 8;
-        let mut stats = vec![[f32::NEG_INFINITY, 0.0f32]; n_seg];
-        parallel::for_each_row_block_mut(&mut stats, 1, per_seg, |s0, block| {
-            for (bs, st) in block.iter_mut().enumerate() {
-                let members = &order[offsets[s0 + bs]..offsets[s0 + bs + 1]];
+        // Flat `[max, exp-sum]` pairs; every pair is written unconditionally.
+        let mut stats = match &self.arena {
+            Some(ar) => ar.lease_f32(2 * n_seg),
+            None => vec![0.0f32; 2 * n_seg],
+        };
+        parallel::for_each_row_block_mut(&mut stats, 2, per_seg, |s0, block| {
+            for (bs, st) in block.chunks_mut(2).enumerate() {
+                let members = &csr.order[csr.offsets[s0 + bs]..csr.offsets[s0 + bs + 1]];
                 let mut m = f32::NEG_INFINITY;
                 for &i in members {
                     m = m.max(av.get(i, 0));
@@ -411,21 +540,25 @@ impl Graph {
                 for &i in members {
                     sum += (av.get(i, 0) - m).exp();
                 }
-                *st = [m, sum];
+                st[0] = m;
+                st[1] = sum;
             }
         });
         // Stage 2, parallel over rows: normalize. Recomputing the exp gives
         // the same bits as the serial two-pass version.
-        let mut out = Tensor::zeros(av.rows(), 1);
+        let mut out = lease_zeros(&self.arena, av.rows(), 1);
         parallel::for_each_row_block_mut(out.data_mut(), 1, 16, |i0, block| {
             for (bi, o) in block.iter_mut().enumerate() {
                 let i = i0 + bi;
-                let [m, sum] = stats[scores[i]];
+                let (m, sum) = (stats[2 * scores[i]], stats[2 * scores[i] + 1]);
                 *o = (av.get(i, 0) - m).exp() / sum;
             }
         });
+        if let Some(ar) = &self.arena {
+            ar.recycle_f32(stats);
+        }
         let ng = self.needs(a);
-        self.push(out, Op::SegmentSoftmax(a, scores.to_vec()), ng)
+        self.push(out, Op::SegmentSoftmax(a, seg), ng)
     }
 
     /// Broadcast a column of weights over the columns of `a`:
@@ -435,7 +568,7 @@ impl Graph {
         assert_eq!(wv.cols(), 1, "mul_col_broadcast weight must be E x 1");
         assert_eq!(av.rows(), wv.rows(), "mul_col_broadcast row mismatch");
         let cols = av.cols();
-        let mut out = av.clone();
+        let mut out = lease_copy(&self.arena, av);
         parallel::for_each_row_block_mut(out.data_mut(), cols, cols, |i0, block| {
             for (bi, row) in block.chunks_mut(cols).enumerate() {
                 let wi = wv.get(i0 + bi, 0);
@@ -453,7 +586,7 @@ impl Graph {
         let (av, bv) = (self.value(a), self.value(b));
         assert_eq!(bv.rows(), 1, "add_row_broadcast bias must be 1 x d");
         assert_eq!(av.cols(), bv.cols(), "add_row_broadcast col mismatch");
-        let mut out = av.clone();
+        let mut out = lease_copy(&self.arena, av);
         for i in 0..out.rows() {
             let dst = out.row_slice_mut(i);
             for (d, &x) in dst.iter_mut().zip(bv.row_slice(0)) {
@@ -468,14 +601,19 @@ impl Graph {
     pub fn scale_rows_const(&mut self, a: Var, c: &[f32]) -> Var {
         let av = self.value(a);
         assert_eq!(av.rows(), c.len(), "scale_rows_const length mismatch");
-        let mut out = av.clone();
+        let mut out = lease_copy(&self.arena, av);
         for (i, &ci) in c.iter().enumerate() {
             for x in out.row_slice_mut(i) {
                 *x *= ci;
             }
         }
+        // The stored payload is pooled too (recycled when the graph drops).
+        let cvec = match &self.arena {
+            Some(ar) => ar.lease_f32_copy(c),
+            None => c.to_vec(),
+        };
         let ng = self.needs(a);
-        self.push(out, Op::ScaleRowsConst(a, c.to_vec()), ng)
+        self.push(out, Op::ScaleRowsConst(a, cvec), ng)
     }
 
     /// Row-wise dot product: `out[i, 0] = a[i, :] . b[i, :]`.
@@ -483,7 +621,7 @@ impl Graph {
         let (av, bv) = (self.value(a), self.value(b));
         assert_eq!(av.shape(), bv.shape(), "row_dot shape mismatch");
         let cols = av.cols();
-        let mut out = Tensor::zeros(av.rows(), 1);
+        let mut out = lease_zeros(&self.arena, av.rows(), 1);
         parallel::for_each_row_block_mut(out.data_mut(), 1, 2 * cols, |i0, block| {
             for (bi, o) in block.iter_mut().enumerate() {
                 let i = i0 + bi;
@@ -503,7 +641,7 @@ impl Graph {
     pub fn softmax_rows(&mut self, a: Var) -> Var {
         let av = self.value(a);
         let cols = av.cols();
-        let mut out = av.clone();
+        let mut out = lease_copy(&self.arena, av);
         parallel::for_each_row_block_mut(out.data_mut(), cols, 16 * cols, |_i0, block| {
             for row in block.chunks_mut(cols) {
                 let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -525,7 +663,7 @@ impl Graph {
     pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
         let av = self.value(a);
         assert!(start + len <= av.cols(), "slice_cols out of range");
-        let mut out = Tensor::zeros(av.rows(), len);
+        let mut out = lease_zeros(&self.arena, av.rows(), len);
         for i in 0..av.rows() {
             out.row_slice_mut(i)
                 .copy_from_slice(&av.row_slice(i)[start..start + len]);
@@ -539,7 +677,7 @@ impl Graph {
     /// Column sums: `[n, d] -> [1, d]`.
     pub fn sum_rows(&mut self, a: Var) -> Var {
         let av = self.value(a);
-        let mut out = Tensor::zeros(1, av.cols());
+        let mut out = lease_zeros(&self.arena, 1, av.cols());
         for i in 0..av.rows() {
             let dst = out.row_slice_mut(0);
             for (d, &x) in dst.iter_mut().zip(av.row_slice(i)) {
@@ -552,14 +690,14 @@ impl Graph {
 
     /// Sum of all elements, as a `1x1` tensor.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let v = Tensor::scalar(self.value(a).sum());
+        let v = self.t_scalar(self.value(a).sum());
         let ng = self.needs(a);
         self.push(v, Op::SumAll(a), ng)
     }
 
     /// Mean of all elements, as a `1x1` tensor.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let v = Tensor::scalar(self.value(a).mean());
+        let v = self.t_scalar(self.value(a).mean());
         let ng = self.needs(a);
         self.push(v, Op::MeanAll(a), ng)
     }
@@ -573,13 +711,14 @@ impl Graph {
         }
         let (rows, cols) = self.value(a).shape();
         let keep = 1.0 - p;
-        let mut mask = Tensor::zeros(rows, cols);
+        let mut mask = self.t_zeros(rows, cols);
         for x in mask.data_mut() {
             if self.rng.gen::<f32>() < keep {
                 *x = 1.0 / keep;
             }
         }
-        let v = self.value(a).zip(&mask, |x, m| x * m);
+        let mut v = self.t_zeros(rows, cols);
+        self.value(a).zip_into(&mask, &mut v, |x, m| x * m);
         let ng = self.needs(a);
         self.push(v, Op::Dropout(a, mask), ng)
     }
@@ -598,7 +737,8 @@ impl Graph {
             .sum::<f32>()
             / n;
         let ng = self.needs(pred);
-        self.push(Tensor::scalar(loss), Op::MseLoss(pred, target.clone()), ng)
+        let (lv, tv) = (self.t_scalar(loss), self.t_copy(target));
+        self.push(lv, Op::MseLoss(pred, tv), ng)
     }
 
     /// Mean absolute error against a constant target, as a `1x1` scalar.
@@ -615,24 +755,21 @@ impl Graph {
             .sum::<f32>()
             / n;
         let ng = self.needs(pred);
-        self.push(Tensor::scalar(loss), Op::L1Loss(pred, target.clone()), ng)
+        let (lv, tv) = (self.t_scalar(loss), self.t_copy(target));
+        self.push(lv, Op::L1Loss(pred, tv), ng)
     }
 
     // ---- backward -------------------------------------------------------
 
-    fn accumulate(&mut self, v: Var, g: Tensor) {
-        if !self.nodes[v.0].needs_grad {
-            return;
-        }
-        match &mut self.grads[v.0] {
-            Some(existing) => existing.add_assign(&g),
-            slot @ None => *slot = Some(g),
-        }
-    }
-
     /// Reverse-mode sweep from a scalar `loss` node. Gradients accumulate into
     /// [`Graph::grad`]; a second call adds on top (zero the tape by rebuilding
     /// it, which is the intended per-step usage).
+    ///
+    /// The sweep is allocation-free when the tape has an arena: every
+    /// per-parent gradient buffer is leased, and buffers that merge into an
+    /// existing gradient are recycled on the spot (see `accumulate_grad`).
+    /// It also no longer clones op payloads or forward values — the old
+    /// `op.clone()` / `value().clone()` per node are direct borrows now.
     ///
     /// # Panics
     /// Panics if `loss` is not `1x1`.
@@ -642,135 +779,211 @@ impl Graph {
             (1, 1),
             "backward requires a scalar loss"
         );
-        self.accumulate(loss, Tensor::scalar(1.0));
+        let seed = self.t_scalar(1.0);
         if let Some(p) = self.profile.as_deref_mut() {
             p.touch();
         }
+        // Split field borrows: nodes are read-only during the sweep, grads
+        // are the only mutable state, and the arena hands out scratch.
+        let Graph {
+            nodes,
+            grads,
+            arena,
+            profile,
+            ..
+        } = self;
+        let nodes: &[Node] = nodes;
+        accumulate_grad(nodes, grads, arena, loss, seed);
         for i in (0..=loss.0).rev() {
-            if !self.nodes[i].needs_grad {
+            if !nodes[i].needs_grad {
                 continue;
             }
-            let Some(g) = self.grads[i].clone() else {
+            // Take the node's gradient for the duration of the arm (parents
+            // always have smaller indices, so grads[i] is never touched by
+            // the arm) and restore it afterwards.
+            let Some(g) = grads[i].take() else {
                 continue;
             };
-            let op = self.nodes[i].op.clone();
-            let kind = op_kind(&op);
-            let bwd_start = self.profile.as_ref().map(|_| std::time::Instant::now());
-            match op {
+            let kind = op_kind(&nodes[i].op);
+            let bwd_start = profile.as_ref().map(|_| std::time::Instant::now());
+            match &nodes[i].op {
                 Op::Leaf => {}
                 Op::Add(a, b) => {
-                    self.accumulate(a, g.clone());
-                    self.accumulate(b, g);
+                    let ga = lease_copy(arena, &g);
+                    let gb = lease_copy(arena, &g);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
+                    accumulate_grad(nodes, grads, arena, *b, gb);
                 }
                 Op::Sub(a, b) => {
-                    self.accumulate(a, g.clone());
-                    self.accumulate(b, g.map(|x| -x));
+                    let ga = lease_copy(arena, &g);
+                    let (rows, cols) = g.shape();
+                    let mut gb = lease_zeros(arena, rows, cols);
+                    g.map_into(&mut gb, |x| -x);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
+                    accumulate_grad(nodes, grads, arena, *b, gb);
                 }
                 Op::Mul(a, b) => {
-                    let ga = g.zip(self.value(b), |gi, bi| gi * bi);
-                    let gb = g.zip(self.value(a), |gi, ai| gi * ai);
-                    self.accumulate(a, ga);
-                    self.accumulate(b, gb);
+                    let (rows, cols) = g.shape();
+                    let mut ga = lease_zeros(arena, rows, cols);
+                    let mut gb = lease_zeros(arena, rows, cols);
+                    g.zip_into(&nodes[b.0].value, &mut ga, |gi, bi| gi * bi);
+                    g.zip_into(&nodes[a.0].value, &mut gb, |gi, ai| gi * ai);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
+                    accumulate_grad(nodes, grads, arena, *b, gb);
                 }
-                Op::Scale(a, c) => self.accumulate(a, g.map(|x| x * c)),
-                Op::AddScalar(a) => self.accumulate(a, g),
+                Op::Scale(a, c) => {
+                    let c = *c;
+                    let (rows, cols) = g.shape();
+                    let mut ga = lease_zeros(arena, rows, cols);
+                    g.map_into(&mut ga, |x| x * c);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
+                }
+                Op::AddScalar(a) => {
+                    let ga = lease_copy(arena, &g);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
+                }
                 Op::MatMul(a, b) => {
-                    let ga = g.matmul(&self.value(b).transpose());
-                    let gb = self.value(a).transpose().matmul(&g);
-                    self.accumulate(a, ga);
-                    self.accumulate(b, gb);
+                    // ga = g . b^T, gb = a^T . g — the transposes are leased
+                    // scratch, recycled immediately after the products.
+                    let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+                    let mut bt = lease_zeros(arena, bv.cols(), bv.rows());
+                    bv.transpose_into(&mut bt);
+                    let mut ga = lease_zeros(arena, g.rows(), bt.cols());
+                    g.matmul_into(&bt, &mut ga);
+                    recycle(arena, bt);
+                    let mut at = lease_zeros(arena, av.cols(), av.rows());
+                    av.transpose_into(&mut at);
+                    let mut gb = lease_zeros(arena, at.rows(), g.cols());
+                    at.matmul_into(&g, &mut gb);
+                    recycle(arena, at);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
+                    accumulate_grad(nodes, grads, arena, *b, gb);
                 }
-                Op::Transpose(a) => self.accumulate(a, g.transpose()),
+                Op::Transpose(a) => {
+                    let mut ga = lease_zeros(arena, g.cols(), g.rows());
+                    g.transpose_into(&mut ga);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
+                }
                 Op::Relu(a) => {
-                    let ga = g.zip(self.value(a), |gi, x| if x > 0.0 { gi } else { 0.0 });
-                    self.accumulate(a, ga);
+                    let (rows, cols) = g.shape();
+                    let mut ga = lease_zeros(arena, rows, cols);
+                    g.zip_into(
+                        &nodes[a.0].value,
+                        &mut ga,
+                        |gi, x| {
+                            if x > 0.0 {
+                                gi
+                            } else {
+                                0.0
+                            }
+                        },
+                    );
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::LeakyRelu(a, alpha) => {
-                    let ga = g.zip(
-                        self.value(a),
-                        |gi, x| if x >= 0.0 { gi } else { alpha * gi },
-                    );
-                    self.accumulate(a, ga);
+                    let alpha = *alpha;
+                    let (rows, cols) = g.shape();
+                    let mut ga = lease_zeros(arena, rows, cols);
+                    g.zip_into(&nodes[a.0].value, &mut ga, |gi, x| {
+                        if x >= 0.0 {
+                            gi
+                        } else {
+                            alpha * gi
+                        }
+                    });
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::Sigmoid(a) => {
-                    let y = &self.nodes[i].value;
-                    let ga = g.zip(y, |gi, yi| gi * yi * (1.0 - yi));
-                    self.accumulate(a, ga);
+                    let y = &nodes[i].value;
+                    let (rows, cols) = g.shape();
+                    let mut ga = lease_zeros(arena, rows, cols);
+                    g.zip_into(y, &mut ga, |gi, yi| gi * yi * (1.0 - yi));
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::Tanh(a) => {
-                    let y = &self.nodes[i].value;
-                    let ga = g.zip(y, |gi, yi| gi * (1.0 - yi * yi));
-                    self.accumulate(a, ga);
+                    let y = &nodes[i].value;
+                    let (rows, cols) = g.shape();
+                    let mut ga = lease_zeros(arena, rows, cols);
+                    g.zip_into(y, &mut ga, |gi, yi| gi * (1.0 - yi * yi));
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::ConcatCols(parts) => {
                     let mut off = 0;
-                    for p in parts {
-                        let w = self.value(p).cols();
+                    for &p in parts {
+                        let w = nodes[p.0].value.cols();
                         let rows = g.rows();
-                        let mut gp = Tensor::zeros(rows, w);
+                        let mut gp = lease_zeros(arena, rows, w);
                         for r in 0..rows {
                             gp.row_slice_mut(r)
                                 .copy_from_slice(&g.row_slice(r)[off..off + w]);
                         }
                         off += w;
-                        self.accumulate(p, gp);
+                        accumulate_grad(nodes, grads, arena, p, gp);
                     }
                 }
                 Op::GatherRows(a, idx) => {
-                    // Scatter-add inverted to CSR: each source row of `a`
-                    // accumulates its gathered copies in ascending gather
-                    // order (the serial loop's order), row-parallel.
-                    let (rows, cols) = self.value(a).shape();
-                    let (offsets, order) = parallel::csr_invert(&idx, rows);
+                    // Scatter-add inverted to CSR (memoized — the interned
+                    // index list's address is stable across epochs): each
+                    // source row of `a` accumulates its gathered copies in
+                    // ascending gather order (the serial loop's order),
+                    // row-parallel.
+                    let (rows, cols) = nodes[a.0].value.shape();
+                    let csr = memo::csr_for(idx, rows);
                     let per_row = (idx.len() * cols / rows.max(1)).max(1);
-                    let mut ga = Tensor::zeros(rows, cols);
+                    let mut ga = lease_zeros(arena, rows, cols);
                     parallel::for_each_row_block_mut(ga.data_mut(), cols, per_row, |r0, block| {
                         for (br, dst) in block.chunks_mut(cols).enumerate() {
                             let r = r0 + br;
-                            for &o in &order[offsets[r]..offsets[r + 1]] {
+                            for &o in &csr.order[csr.offsets[r]..csr.offsets[r + 1]] {
                                 for (d, &x) in dst.iter_mut().zip(g.row_slice(o)) {
                                     *d += x;
                                 }
                             }
                         }
                     });
-                    self.accumulate(a, ga);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::SegmentSum(a, segs, n_seg) => {
-                    debug_assert_eq!(g.rows(), n_seg);
+                    debug_assert_eq!(g.rows(), *n_seg);
                     // The gradient is a pure row gather, which is already
                     // row-parallel.
-                    let ga = g.gather_rows(&segs);
-                    self.accumulate(a, ga);
+                    let mut ga = lease_zeros(arena, segs.len(), g.cols());
+                    g.gather_rows_into(segs, &mut ga);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::SegmentSoftmax(a, segs) => {
                     // dL/ds_i = y_i * (g_i - Σ_{j in seg(i)} y_j g_j)
-                    let y = self.nodes[i].value.clone();
+                    let y = &nodes[i].value;
                     let n_seg = segs.iter().copied().max().map_or(0, |m| m + 1);
-                    let (offsets, order) = parallel::csr_invert(&segs, n_seg);
+                    let csr = memo::csr_for(segs, n_seg);
                     let per_seg = (2 * segs.len() / n_seg.max(1)).max(1);
-                    let mut seg_dot = vec![0.0f32; n_seg];
+                    let mut seg_dot = match arena {
+                        Some(ar) => ar.lease_f32(n_seg),
+                        None => vec![0.0f32; n_seg],
+                    };
                     parallel::for_each_row_block_mut(&mut seg_dot, 1, per_seg, |s0, block| {
                         for (bs, d) in block.iter_mut().enumerate() {
-                            for &r in &order[offsets[s0 + bs]..offsets[s0 + bs + 1]] {
+                            for &r in &csr.order[csr.offsets[s0 + bs]..csr.offsets[s0 + bs + 1]] {
                                 *d += y.get(r, 0) * g.get(r, 0);
                             }
                         }
                     });
-                    let mut ga = Tensor::zeros(y.rows(), 1);
+                    let mut ga = lease_zeros(arena, y.rows(), 1);
                     parallel::for_each_row_block_mut(ga.data_mut(), 1, 4, |r0, block| {
                         for (br, o) in block.iter_mut().enumerate() {
                             let r = r0 + br;
                             *o = y.get(r, 0) * (g.get(r, 0) - seg_dot[segs[r]]);
                         }
                     });
-                    self.accumulate(a, ga);
+                    if let Some(ar) = arena {
+                        ar.recycle_f32(seg_dot);
+                    }
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::MulColBroadcast(a, w) => {
-                    let wv = self.value(w).clone();
-                    let av = self.value(a).clone();
+                    let (av, wv) = (&nodes[a.0].value, &nodes[w.0].value);
                     let cols = av.cols();
-                    let mut ga = g.clone();
+                    let mut ga = lease_copy(arena, &g);
                     parallel::for_each_row_block_mut(ga.data_mut(), cols, cols, |r0, block| {
                         for (br, row) in block.chunks_mut(cols).enumerate() {
                             let wi = wv.get(r0 + br, 0);
@@ -779,11 +992,12 @@ impl Graph {
                             }
                         }
                     });
-                    let mut gw = Tensor::zeros(wv.rows(), 1);
+                    let mut gw = lease_zeros(arena, wv.rows(), 1);
+                    let g_ref = &g;
                     parallel::for_each_row_block_mut(gw.data_mut(), 1, 2 * cols, |r0, block| {
                         for (br, o) in block.iter_mut().enumerate() {
                             let r = r0 + br;
-                            *o = g
+                            *o = g_ref
                                 .row_slice(r)
                                 .iter()
                                 .zip(av.row_slice(r))
@@ -791,111 +1005,122 @@ impl Graph {
                                 .sum();
                         }
                     });
-                    self.accumulate(a, ga);
-                    self.accumulate(w, gw);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
+                    accumulate_grad(nodes, grads, arena, *w, gw);
                 }
                 Op::AddRowBroadcast(a, b) => {
-                    let mut gb = Tensor::zeros(1, g.cols());
+                    let mut gb = lease_zeros(arena, 1, g.cols());
                     for r in 0..g.rows() {
                         let dst = gb.row_slice_mut(0);
                         for (d, &x) in dst.iter_mut().zip(g.row_slice(r)) {
                             *d += x;
                         }
                     }
-                    self.accumulate(a, g);
-                    self.accumulate(b, gb);
+                    let ga = lease_copy(arena, &g);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
+                    accumulate_grad(nodes, grads, arena, *b, gb);
                 }
                 Op::ScaleRowsConst(a, c) => {
-                    let mut ga = g.clone();
+                    let mut ga = lease_copy(arena, &g);
                     for (r, &ci) in c.iter().enumerate() {
                         for x in ga.row_slice_mut(r) {
                             *x *= ci;
                         }
                     }
-                    self.accumulate(a, ga);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::RowDot(a, b) => {
-                    let av = self.value(a).clone();
-                    let bv = self.value(b).clone();
+                    let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
                     let cols = av.cols();
+                    let g_ref = &g;
                     let scale_rows = |t: &mut Tensor| {
                         parallel::for_each_row_block_mut(t.data_mut(), cols, cols, |r0, block| {
                             for (br, row) in block.chunks_mut(cols).enumerate() {
-                                let gi = g.get(r0 + br, 0);
+                                let gi = g_ref.get(r0 + br, 0);
                                 for x in row {
                                     *x *= gi;
                                 }
                             }
                         });
                     };
-                    let mut ga = bv.clone();
-                    let mut gb = av.clone();
+                    let mut ga = lease_copy(arena, bv);
+                    let mut gb = lease_copy(arena, av);
                     scale_rows(&mut ga);
                     scale_rows(&mut gb);
-                    self.accumulate(a, ga);
-                    self.accumulate(b, gb);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
+                    accumulate_grad(nodes, grads, arena, *b, gb);
                 }
                 Op::SoftmaxRows(a) => {
-                    let y = self.nodes[i].value.clone();
+                    let y = &nodes[i].value;
                     let cols = y.cols();
-                    let mut ga = Tensor::zeros(y.rows(), cols);
+                    let mut ga = lease_zeros(arena, y.rows(), cols);
+                    let g_ref = &g;
                     parallel::for_each_row_block_mut(ga.data_mut(), cols, 4 * cols, |r0, block| {
                         for (br, row) in block.chunks_mut(cols).enumerate() {
                             let r = r0 + br;
                             let dot: f32 = y
                                 .row_slice(r)
                                 .iter()
-                                .zip(g.row_slice(r))
+                                .zip(g_ref.row_slice(r))
                                 .map(|(&yi, &gi)| yi * gi)
                                 .sum();
                             for (c, o) in row.iter_mut().enumerate() {
-                                *o = y.get(r, c) * (g.get(r, c) - dot);
+                                *o = y.get(r, c) * (g_ref.get(r, c) - dot);
                             }
                         }
                     });
-                    self.accumulate(a, ga);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::SliceCols(a, start, len) => {
-                    let (rows, cols) = self.value(a).shape();
-                    let mut ga = Tensor::zeros(rows, cols);
+                    let (start, len) = (*start, *len);
+                    let (rows, cols) = nodes[a.0].value.shape();
+                    let mut ga = lease_zeros(arena, rows, cols);
                     for r in 0..rows {
                         ga.row_slice_mut(r)[start..start + len].copy_from_slice(g.row_slice(r));
                     }
-                    self.accumulate(a, ga);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::SumRows(a) => {
-                    let (rows, cols) = self.value(a).shape();
-                    let mut ga = Tensor::zeros(rows, cols);
+                    let (rows, cols) = nodes[a.0].value.shape();
+                    let mut ga = lease_zeros(arena, rows, cols);
                     for r in 0..rows {
                         ga.row_slice_mut(r).copy_from_slice(g.row_slice(0));
                     }
-                    self.accumulate(a, ga);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::SumAll(a) => {
-                    let (rows, cols) = self.value(a).shape();
-                    let ga = Tensor::full(rows, cols, g.item());
-                    self.accumulate(a, ga);
+                    let (rows, cols) = nodes[a.0].value.shape();
+                    let mut ga = lease_zeros(arena, rows, cols);
+                    ga.data_mut().fill(g.item());
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::MeanAll(a) => {
-                    let (rows, cols) = self.value(a).shape();
+                    let (rows, cols) = nodes[a.0].value.shape();
                     let n = (rows * cols) as f32;
-                    let ga = Tensor::full(rows, cols, g.item() / n);
-                    self.accumulate(a, ga);
+                    let mut ga = lease_zeros(arena, rows, cols);
+                    ga.data_mut().fill(g.item() / n);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::Dropout(a, mask) => {
-                    let ga = g.zip(&mask, |gi, m| gi * m);
-                    self.accumulate(a, ga);
+                    let (rows, cols) = g.shape();
+                    let mut ga = lease_zeros(arena, rows, cols);
+                    g.zip_into(mask, &mut ga, |gi, m| gi * m);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::MseLoss(a, target) => {
                     let n = target.len() as f32;
                     let gi = g.item();
-                    let ga = self.value(a).zip(&target, |p, t| 2.0 * (p - t) * gi / n);
-                    self.accumulate(a, ga);
+                    let av = &nodes[a.0].value;
+                    let mut ga = lease_zeros(arena, av.rows(), av.cols());
+                    av.zip_into(target, &mut ga, |p, t| 2.0 * (p - t) * gi / n);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
                 Op::L1Loss(a, target) => {
                     let n = target.len() as f32;
                     let gi = g.item();
-                    let ga = self.value(a).zip(&target, |p, t| {
+                    let av = &nodes[a.0].value;
+                    let mut ga = lease_zeros(arena, av.rows(), av.cols());
+                    av.zip_into(target, &mut ga, |p, t| {
                         let d = p - t;
                         // Subgradient: 0 at the kink.
                         if d > 0.0 {
@@ -906,13 +1131,37 @@ impl Graph {
                             0.0
                         }
                     });
-                    self.accumulate(a, ga);
+                    accumulate_grad(nodes, grads, arena, *a, ga);
                 }
             }
-            if let (Some(t0), Some(p)) = (bwd_start, self.profile.as_deref_mut()) {
+            grads[i] = Some(g);
+            if let (Some(t0), Some(p)) = (bwd_start, profile.as_deref_mut()) {
                 p.backward(kind, t0.elapsed());
             }
         }
+    }
+}
+
+/// Merge gradient contribution `g` into node `v`'s slot. A buffer that ends
+/// up unused (the node needs no grad, or it merged into an existing tensor)
+/// goes back to the arena instead of the allocator.
+fn accumulate_grad(
+    nodes: &[Node],
+    grads: &mut [Option<Tensor>],
+    arena: &Option<TapeArena>,
+    v: Var,
+    g: Tensor,
+) {
+    if !nodes[v.0].needs_grad {
+        recycle(arena, g);
+        return;
+    }
+    match &mut grads[v.0] {
+        Some(existing) => {
+            existing.add_assign(&g);
+            recycle(arena, g);
+        }
+        slot @ None => *slot = Some(g),
     }
 }
 
@@ -923,6 +1172,22 @@ impl Drop for Graph {
         }
         if obs::enabled() {
             obs::hist_record("tensor.tape.len", self.nodes.len() as f64);
+        }
+        // Return every leased buffer — forward values, tensor op payloads,
+        // and gradients — to the arena for the next epoch's tape.
+        if let Some(arena) = self.arena.take() {
+            for node in self.nodes.drain(..) {
+                arena.recycle_f32(node.value.into_vec());
+                match node.op {
+                    Op::Dropout(_, mask) => arena.recycle_f32(mask.into_vec()),
+                    Op::MseLoss(_, t) | Op::L1Loss(_, t) => arena.recycle_f32(t.into_vec()),
+                    Op::ScaleRowsConst(_, c) => arena.recycle_f32(c),
+                    _ => {}
+                }
+            }
+            for g in self.grads.drain(..).flatten() {
+                arena.recycle_f32(g.into_vec());
+            }
         }
     }
 }

@@ -25,6 +25,14 @@
 //!   the per-element floating-point order identical to the serial loops, so
 //!   results are bitwise identical for any thread count. Install the knob
 //!   once via [`ParallelConfig`]; the default (1 thread) is plain serial.
+//! * **Cache-blocked matmul** ([`kernels`]): large matrix products go through
+//!   a panel-packed, register-tiled microkernel that preserves the naive
+//!   loop's left-to-right accumulation order — same bits, several times the
+//!   throughput.
+//! * **Epoch-persistent memory** ([`TapeArena`], [`memo`]): tapes can lease
+//!   all their buffers from a size-bucketed pool owned by the training loop
+//!   (zero allocations once warm), and static edge lists are interned with
+//!   their CSR inversions memoized across epochs.
 //!
 //! ```
 //! use siterec_tensor::{Graph, ParamStore, Init, Tensor, optim::{Adam, Optimizer}};
@@ -47,10 +55,13 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod checkpoint;
 mod gradcheck;
 mod graph;
 mod init;
+pub mod kernels;
+pub mod memo;
 pub mod nn;
 pub mod optim;
 pub mod parallel;
@@ -60,6 +71,7 @@ pub mod resilience;
 mod tensor;
 mod wire;
 
+pub use arena::{ArenaStats, TapeArena};
 pub use checkpoint::{
     load_latest, save as save_checkpoint, CheckpointError, CheckpointPolicy, TrainState,
 };

@@ -1,7 +1,7 @@
 //! First-order optimizers over a [`ParamStore`].
 
 use crate::parallel;
-use crate::param::ParamStore;
+use crate::param::{Param, ParamStore};
 use crate::tensor::Tensor;
 use siterec_obs as obs;
 
@@ -35,12 +35,10 @@ impl Optimizer for Sgd {
     fn step(&mut self, params: &mut ParamStore) {
         for p in params.iter_mut() {
             if self.weight_decay > 0.0 {
-                let wd = self.weight_decay;
-                let v = p.value.clone();
-                p.grad.add_scaled(&v, wd);
+                // Disjoint field borrows: no value clone needed.
+                p.grad.add_scaled(&p.value, self.weight_decay);
             }
-            let g = p.grad.clone();
-            p.value.add_scaled(&g, -self.lr);
+            p.value.add_scaled(&p.grad, -self.lr);
         }
     }
 }
@@ -154,18 +152,20 @@ impl Optimizer for Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, p) in params.iter_mut().enumerate() {
             if self.weight_decay > 0.0 {
-                let wd = self.weight_decay;
-                let val = p.value.clone();
-                p.grad.add_scaled(&val, wd);
+                // Disjoint field borrows: no value clone needed.
+                p.grad.add_scaled(&p.value, self.weight_decay);
             }
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             // Moment and value updates are elementwise, so contiguous chunks
-            // split across workers produce the exact serial bits.
-            let grad = p.grad.data().to_vec();
+            // split across workers produce the exact serial bits. Splitting
+            // the param borrow lets the closure read the gradient slice
+            // directly instead of copying it per step.
+            let Param { value, grad, .. } = p;
+            let grad: &[f32] = grad.data();
             let (beta1, beta2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
             parallel::for_each_zip3_block_mut(
-                p.value.data_mut(),
+                value.data_mut(),
                 m.data_mut(),
                 v.data_mut(),
                 16,

@@ -124,12 +124,13 @@ impl ParamStore {
     }
 
     /// Put every parameter's current value on the tape as a differentiable
-    /// leaf, returning the handles.
+    /// leaf, returning the handles. Values are copied through the tape's
+    /// arena when it has one, so per-epoch re-binding allocates nothing.
     pub fn bind(&self, graph: &mut Graph) -> Bindings {
         Bindings(
             self.params
                 .iter()
-                .map(|p| graph.param(p.value.clone()))
+                .map(|p| graph.param_ref(&p.value))
                 .collect(),
         )
     }

@@ -175,6 +175,17 @@ impl Tensor {
     /// Matrix transpose (allocates).
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Matrix transpose into a preallocated `cols x rows` tensor.
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into shape mismatch"
+        );
         let n_rows = self.rows;
         crate::parallel::for_each_row_block_mut(&mut out.data, n_rows, n_rows, |c0, block| {
             for (bc, o_row) in block.chunks_mut(n_rows).enumerate() {
@@ -184,51 +195,50 @@ impl Tensor {
                 }
             }
         });
-        out
     }
 
     /// Matrix product `self (n x k) * other (k x m) -> (n x m)`.
     ///
-    /// Uses an `i-k-j` loop order so the inner loop streams both operand rows,
-    /// which is cache-friendly for the modest sizes used by the models.
+    /// Dispatches (on shape alone) between the naive `i-k-j` loop and the
+    /// cache-blocked register-tiled kernel in [`crate::kernels`]; the two
+    /// are bit-identical on finite inputs at every thread count.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product into a preallocated `n x m` tensor (overwritten).
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_into out shape mismatch"
+        );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = Tensor::zeros(n, m);
-        // Output rows are independent, so the parallel split changes nothing
-        // about the per-element accumulation order: bitwise identical to the
-        // serial loop for any worker count.
-        crate::parallel::for_each_row_block_mut(&mut out.data, m, 2 * k * m, |i0, block| {
-            for (bi, o_row) in block.chunks_mut(m).enumerate() {
-                let i = i0 + bi;
-                let a_row = &self.data[i * k..(i + 1) * k];
-                for (kk, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[kk * m..(kk + 1) * m];
-                    for (o, &b) in o_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
-        out
+        crate::kernels::matmul_into(&self.data, &other.data, &mut out.data, n, k, m);
     }
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let mut out = Tensor::zeros(self.rows, self.cols);
+        self.map_into(&mut out, f);
+        out
+    }
+
+    /// Elementwise map into a preallocated same-shape tensor.
+    pub fn map_into(&self, out: &mut Tensor, f: impl Fn(f32) -> f32 + Sync) {
+        assert_eq!(self.shape(), out.shape(), "map_into shape mismatch");
         crate::parallel::for_each_row_block_mut(&mut out.data, 1, 8, |off, block| {
             for (j, o) in block.iter_mut().enumerate() {
                 *o = f(self.data[off + j]);
             }
         });
-        out
     }
 
     /// Elementwise binary zip into a new tensor.
@@ -236,14 +246,20 @@ impl Tensor {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
-        assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
         let mut out = Tensor::zeros(self.rows, self.cols);
+        self.zip_into(other, &mut out, f);
+        out
+    }
+
+    /// Elementwise binary zip into a preallocated same-shape tensor.
+    pub fn zip_into(&self, other: &Tensor, out: &mut Tensor, f: impl Fn(f32, f32) -> f32 + Sync) {
+        assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
+        assert_eq!(self.shape(), out.shape(), "zip_into out shape mismatch");
         crate::parallel::for_each_row_block_mut(&mut out.data, 1, 8, |off, block| {
             for (j, o) in block.iter_mut().enumerate() {
                 *o = f(self.data[off + j], other.data[off + j]);
             }
         });
-        out
     }
 
     /// `self += other`, elementwise.
@@ -307,6 +323,17 @@ impl Tensor {
     /// Panics (in debug builds) if any index is out of bounds.
     pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
         let mut out = Tensor::zeros(idx.len(), self.cols);
+        self.gather_rows_into(idx, &mut out);
+        out
+    }
+
+    /// Row selection into a preallocated `idx.len() x cols` tensor.
+    pub fn gather_rows_into(&self, idx: &[usize], out: &mut Tensor) {
+        assert_eq!(
+            out.shape(),
+            (idx.len(), self.cols),
+            "gather_rows_into shape mismatch"
+        );
         let cols = self.cols;
         crate::parallel::for_each_row_block_mut(&mut out.data, cols, cols, |o0, block| {
             for (bo, o_row) in block.chunks_mut(cols).enumerate() {
@@ -315,7 +342,6 @@ impl Tensor {
                 o_row.copy_from_slice(self.row_slice(i));
             }
         });
-        out
     }
 
     /// Horizontally concatenate tensors with equal row counts.
@@ -323,10 +349,20 @@ impl Tensor {
         assert!(!parts.is_empty(), "concat_cols of nothing");
         let rows = parts[0].rows;
         let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Tensor::zeros(rows, cols);
+        Tensor::concat_cols_into(parts, &mut out);
+        out
+    }
+
+    /// Horizontal concatenation into a preallocated `rows x Σcols` tensor.
+    pub fn concat_cols_into(parts: &[&Tensor], out: &mut Tensor) {
+        assert!(!parts.is_empty(), "concat_cols of nothing");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
         for p in parts {
             assert_eq!(p.rows, rows, "concat_cols row mismatch");
         }
-        let mut out = Tensor::zeros(rows, cols);
+        assert_eq!(out.shape(), (rows, cols), "concat_cols_into shape mismatch");
         for r in 0..rows {
             let dest = out.row_slice_mut(r);
             let mut off = 0;
@@ -335,7 +371,6 @@ impl Tensor {
                 off += p.cols;
             }
         }
-        out
     }
 
     /// Vertically stack tensors with equal column counts.

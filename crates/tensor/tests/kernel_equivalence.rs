@@ -1,0 +1,154 @@
+//! Tiled-vs-naive matmul microkernel equivalence: the cache-blocked kernel
+//! must produce *identical raw `f32` bits* to the naive triple loop on every
+//! shape, at every thread count, and through arena-pooled tapes. The shapes
+//! below are adversarial on purpose: empty and degenerate dims, primes,
+//! sizes straddling the `MR`/`NR` register-tile edges and the `KC` cache
+//! block, and sizes on both sides of the `TILED_MIN_MACS` dispatch
+//! threshold. See `kernels` module docs for why the naive loop's
+//! zero-skip cannot change the bits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use siterec_tensor::kernels::{matmul_naive_into, matmul_tiled_into};
+use siterec_tensor::parallel::ThreadGuard;
+use siterec_tensor::{Graph, TapeArena, Tensor};
+use std::sync::Mutex;
+
+// The kernel thread count is process-global; tests that flip it must not
+// interleave with each other.
+static GLOBAL_KNOB: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_KNOB.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Fill with a mix of magnitudes plus exact zeros (the naive kernel skips
+/// zero `a` terms — the equivalence must hold through that skip) and exact
+/// negative zeros (sign bits must survive untouched in pack/copy paths).
+fn adversarial_fill(buf: &mut [f32], rng: &mut StdRng) {
+    for x in buf.iter_mut() {
+        *x = match rng.gen_range(0..10u32) {
+            0 | 1 => 0.0,
+            2 => -0.0,
+            3 => rng.gen_range(-1e6f32..1e6),
+            4 => rng.gen_range(-1e-6f32..1e-6),
+            _ => rng.gen_range(-2.0f32..2.0),
+        };
+    }
+}
+
+/// n, k, m triples hitting every dispatch and tiling edge:
+/// - empty / unit dims (degenerate loops);
+/// - n below MR=4 and m below NR=8 (partial register tiles / naive dispatch);
+/// - primes and non-multiples of 4 and 8 (remainder row/column handling);
+/// - k = 255, 256, 257, 512 (KC cache-block boundary, one and two blocks);
+/// - products on both sides of TILED_MIN_MACS = 65536 (dispatch threshold).
+const SHAPES: &[(usize, usize, usize)] = &[
+    (0, 5, 7),
+    (5, 0, 7),
+    (5, 7, 0),
+    (1, 1, 1),
+    (3, 3, 3),
+    (2, 9, 5),
+    (4, 8, 8),
+    (5, 9, 7),
+    (7, 13, 11),
+    (17, 31, 13),
+    (16, 64, 64),
+    (41, 37, 43),
+    (40, 41, 40),
+    (64, 64, 64),
+    (100, 30, 70),
+    (9, 255, 33),
+    (9, 256, 33),
+    (9, 257, 33),
+    (33, 512, 9),
+    (128, 128, 128),
+    (61, 259, 67),
+];
+
+fn naive_vs_tiled(rng: &mut StdRng, n: usize, k: usize, m: usize) {
+    let mut a = vec![0.0f32; n * k];
+    let mut b = vec![0.0f32; k * m];
+    adversarial_fill(&mut a, rng);
+    adversarial_fill(&mut b, rng);
+    // Poison the outputs: both kernels must fully overwrite them.
+    let mut out_naive = vec![f32::NAN; n * m];
+    let mut out_tiled = vec![f32::NAN; n * m];
+    matmul_naive_into(&a, &b, &mut out_naive, n, k, m);
+    matmul_tiled_into(&a, &b, &mut out_tiled, n, k, m);
+    for (i, (x, y)) in out_naive.iter().zip(&out_tiled).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "bit mismatch at [{}, {}] of {n}x{k}x{m}: naive {x:e} vs tiled {y:e}",
+            i / m.max(1),
+            i % m.max(1),
+        );
+    }
+}
+
+#[test]
+fn tiled_bits_match_naive_on_adversarial_shapes() {
+    let _l = lock();
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for threads in [1usize, 8] {
+        let _g = ThreadGuard::set(threads);
+        for &(n, k, m) in SHAPES {
+            naive_vs_tiled(&mut rng, n, k, m);
+        }
+    }
+}
+
+#[test]
+fn graph_matmul_bits_invariant_to_arena_and_threads() {
+    // The same matmul chain — forward and backward — through four tapes:
+    // {plain, arena-pooled} x {1 thread, 8 threads}, plus a second pass on
+    // the *same* arena so the outputs land in recycled (previously dirtied)
+    // buffers. All six runs must agree bit-for-bit.
+    let _l = lock();
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let n = 67;
+    let k = 41;
+    let m = 29;
+    let mut x0 = Tensor::zeros(n, k);
+    let mut w0 = Tensor::zeros(k, m);
+    adversarial_fill(x0.data_mut(), &mut rng);
+    adversarial_fill(w0.data_mut(), &mut rng);
+    let target = Tensor::zeros(n, m);
+
+    let run = |g: &mut Graph| -> Vec<u32> {
+        let x = g.param(x0.clone());
+        let w = g.param(w0.clone());
+        let h = g.matmul(x, w);
+        let y = g.tanh(h);
+        let loss = g.mse_loss(y, &target);
+        g.backward(loss);
+        let mut bits: Vec<u32> = g.value(y).data().iter().map(|v| v.to_bits()).collect();
+        for var in [x, w] {
+            bits.extend(
+                g.grad(var)
+                    .expect("grad")
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits()),
+            );
+        }
+        bits
+    };
+
+    let mut results: Vec<(String, Vec<u32>)> = Vec::new();
+    for threads in [1usize, 8] {
+        let _g = ThreadGuard::set(threads);
+        results.push((format!("plain/t{threads}"), run(&mut Graph::new())));
+        let arena = TapeArena::new();
+        for pass in 0..2 {
+            let mut g = Graph::with_seed_and_arena(0, arena.clone());
+            results.push((format!("arena/t{threads}/pass{pass}"), run(&mut g)));
+        }
+    }
+    let (base_label, baseline) = &results[0];
+    for (label, bits) in &results[1..] {
+        assert_eq!(bits, baseline, "{label} differs from {base_label}");
+    }
+}

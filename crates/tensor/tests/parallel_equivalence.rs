@@ -191,6 +191,62 @@ fn recorder_does_not_perturb_model_bits() {
 }
 
 #[test]
+fn arena_pooled_training_bitwise_equal_to_plain() {
+    // The epoch-persistent TapeArena hands back recycled, zero-filled
+    // buffers; training on pooled tapes must be bit-for-bit the training on
+    // fresh allocations, at any thread count. Multi-epoch on one shared
+    // arena so later epochs run entirely on recycled (previously dirtied)
+    // buffers — the adversarial case for the zero-fill contract.
+    use siterec_tensor::TapeArena;
+    let n_nodes = 120;
+    let n_edges = 1500;
+    let dim = 19;
+    let mut rng = StdRng::seed_from_u64(31);
+    let src: Vec<usize> = (0..n_edges).map(|_| rng.gen_range(0..n_nodes)).collect();
+    let dst: Vec<usize> = (0..n_edges).map(|_| rng.gen_range(0..n_nodes)).collect();
+    let target = Tensor::zeros(n_nodes, dim);
+    let run = |arena: Option<TapeArena>| -> Vec<Tensor> {
+        let mut ps = ParamStore::new(17);
+        let emb = ps.add("emb", n_nodes, dim, Init::XavierUniform);
+        let head = ps.add("head", dim, dim, Init::XavierUniform);
+        let mut opt = Adam::new(0.01);
+        for epoch in 0..4u64 {
+            let mut g = match &arena {
+                Some(a) => Graph::with_seed_and_arena(epoch, a.clone()),
+                None => Graph::with_seed(epoch),
+            };
+            let binds = ps.bind(&mut g);
+            let hs = g.gather_rows(binds.var(emb), &src);
+            let ht = g.gather_rows(binds.var(emb), &dst);
+            let scores = g.row_dot(hs, ht);
+            let att = g.segment_softmax(&dst, scores);
+            let weighted = g.mul_col_broadcast(hs, att);
+            let pooled = g.segment_sum(weighted, &dst, n_nodes);
+            let h = g.matmul(pooled, binds.var(head));
+            let act = g.tanh(h);
+            let loss = g.mse_loss(act, &target);
+            g.backward(loss);
+            ps.zero_grads();
+            ps.harvest(&g, &binds);
+            opt.step(&mut ps);
+        }
+        vec![ps.get(emb).value.clone(), ps.get(head).value.clone()]
+    };
+    assert_bitwise_equal("arena-pooled training", || run(Some(TapeArena::new())));
+    let _l = lock();
+    let plain: Vec<Vec<u32>> = run(None).iter().map(bits).collect();
+    let arena = TapeArena::new();
+    let pooled: Vec<Vec<u32>> = run(Some(arena.clone())).iter().map(bits).collect();
+    assert_eq!(plain, pooled, "arena-pooled params differ from plain");
+    let stats = arena.stats();
+    assert!(stats.recycles > 0, "arena never recycled: {stats:?}");
+    assert!(
+        stats.leases > stats.misses,
+        "arena never reused a buffer: {stats:?}"
+    );
+}
+
+#[test]
 fn gradcheck_passes_with_parallel_kernels_active() {
     let _l = lock();
     let _g = ThreadGuard::set(4);

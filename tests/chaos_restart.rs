@@ -9,6 +9,11 @@
 //! launches it and checks the verdict, so the identical scenario is
 //! available standalone (`cargo run -p siterec-bench --bin chaos_train`) and
 //! in CI.
+//!
+//! The scenario runs with the epoch-persistent tape arena enabled (`--arena
+//! on`, the default), so every kill/tear/resume exercises pooled tapes; the
+//! orchestrator additionally cross-checks one arena-off run against the
+//! arena-on reference checkpoint byte-for-byte.
 
 use std::process::Command;
 
@@ -26,6 +31,8 @@ fn chaos_kills_and_torn_write_resume_bit_identically() {
             "7",
             "--threads",
             "1,8",
+            "--arena",
+            "on",
         ])
         .arg("--dir")
         .arg(&dir)
@@ -57,6 +64,10 @@ fn chaos_kills_and_torn_write_resume_bit_identically() {
     assert!(
         stdout.contains("bit-identical across thread counts"),
         "cross-thread comparison missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("bit-identical with tape arena on vs off"),
+        "arena on/off comparison missing:\n{stdout}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
