@@ -47,5 +47,43 @@ echo "ci: kernel perf-regression gate"
 SITEREC_KERNEL_GATE=1 SITEREC_JOURNAL="$PWD/target/ci_kernels.jsonl" \
     cargo bench -q -p siterec-bench --bench perf_kernels >/dev/null
 run cargo run -q -p siterec-bench --bin validate_journal -- "$PWD/target/ci_kernels.jsonl"
+# Serving-layer smoke: the README/SERVING.md lifecycle end to end — train a
+# checkpointed recipe, serve it (env knobs + flags + SREMB1 image), query
+# every endpoint with the bundled client, let the --max-requests budget stop
+# the server gracefully, then schema-validate its journal (which must hold
+# the serve_request / serve_reload records).
+echo "ci: serving-layer smoke (train -> run -> query -> journal)"
+rm -rf target/ci_serve && mkdir -p target/ci_serve
+run cargo run -q --release -p siterec-serve -- train \
+    --recipe tiny:7 --ckpt target/ci_serve/ckpt --epochs 2
+SITEREC_JOURNAL="$PWD/target/ci_serve/journal.jsonl" \
+    SITEREC_SERVE_WORKERS=2 SITEREC_SERVE_QUEUE=256 \
+    SITEREC_SERVE_BATCH=16 SITEREC_SERVE_CACHE=512 \
+    cargo run -q --release -p siterec-serve -- run \
+    --recipe tiny:7 --ckpt target/ci_serve/ckpt --addr 127.0.0.1:47731 \
+    --max-requests 3 --image target/ci_serve/emb.sremb &
+CI_SERVE_PID=$!
+serve_query() { run cargo run -q --release -p siterec-serve -- query \
+    --addr 127.0.0.1:47731 "$@"; }
+serve_query --retry 50 --healthz
+serve_query --region 10 --type 3 --period morning   # scoring request 1
+serve_query --topk 5 --type 3 --period noon-rush    # scoring request 2
+serve_query --reload
+serve_query --metrics
+serve_query --region 10 --type 3                    # request 3: budget -> exit
+wait "$CI_SERVE_PID"
+run test -s target/ci_serve/emb.sremb
+run cargo run -q -p siterec-bench --bin validate_journal -- \
+    "$PWD/target/ci_serve/journal.jsonl"
+# Serving chaos smoke: SIGKILL the server mid-traffic, restart from the same
+# checkpoint dir, and require every post-resume score to be bit-identical to
+# offline inference (plus a schema-valid journal from the surviving child).
+run cargo run -q --release -p siterec-serve --bin chaos_serve -- \
+    --seed 7 --epochs 2 --dir target/ci_chaos_serve
+# Serving perf smoke: QPS + latency percentiles artifact, journal-validated.
+echo "ci: serving perf smoke + journal validation"
+SITEREC_SMOKE=1 SITEREC_JOURNAL="$PWD/target/ci_serve_bench.jsonl" \
+    cargo bench -q -p siterec-bench --bench perf_serve >/dev/null
+run cargo run -q -p siterec-bench --bin validate_journal -- "$PWD/target/ci_serve_bench.jsonl"
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps
 echo "ci: all gates passed"

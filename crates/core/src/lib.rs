@@ -45,8 +45,8 @@ mod recommend;
 pub use attention::RelationAttention;
 pub use capacity::{CapacityModel, CapacityOutput};
 pub use config::{SiteRecConfig, Variant};
-pub use model::{epoch_graph_seed, O2SiteRec, TrainEpoch};
-pub use recommend::HeteroModel;
+pub use model::{epoch_graph_seed, O2SiteRec, ServingExport, TrainEpoch, MODEL_NAME};
+pub use recommend::{gather_period_pairs, score_tail, HeteroModel, TailSpec, TailVars};
 pub use siterec_tensor::{
     retry_seed, GuardConfig, ParallelConfig, RecoveryEvent, TrainError, TrainGuard,
 };

@@ -4,7 +4,8 @@
 
 use crate::capacity::CapacityModel;
 use crate::config::{SiteRecConfig, Variant};
-use crate::recommend::HeteroModel;
+use crate::recommend::{gather_period_pairs, score_tail, HeteroModel};
+use siterec_geo::Period;
 use siterec_graphs::{HeteroGraph, SiteRecTask};
 use siterec_obs as obs;
 use siterec_sim::O2oDataset;
@@ -15,8 +16,51 @@ use siterec_tensor::{
     RecoveryEvent, TapeArena, Tensor, TrainError, TrainGuard, Var,
 };
 
-/// Model name used in journal records (spans, `train_epoch`, `recovery`).
-const MODEL_NAME: &str = "O2-SiteRec";
+/// Model name used in journal records (spans, `train_epoch`, `recovery`),
+/// in checkpoint metadata and in serving embedding-store images.
+pub const MODEL_NAME: &str = "O2-SiteRec";
+
+/// Everything the online serving layer needs, exported from a trained model:
+/// the pair-independent per-period node embeddings (steps 1–3 of Fig. 9,
+/// evaluated once in eval mode) plus the scoring-tail weights (steps 4–5)
+/// and the region → store-node mapping.
+///
+/// Scoring a `(region, type)` pair from this export — gather, concat,
+/// [`score_tail`] — executes the identical tape ops as
+/// [`O2SiteRec::predict`], so online scores are raw-`f32`-bit-identical to
+/// offline inference (asserted by `siterec-serve`'s equivalence tests).
+#[derive(Debug, Clone)]
+pub struct ServingExport {
+    /// Model name ([`MODEL_NAME`]); identifies the export's producer.
+    pub model: String,
+    /// Training seed the exporting model was configured with.
+    pub seed: u64,
+    /// Committed training epochs behind these embeddings.
+    pub trained_epochs: usize,
+    /// Embedding size `d2` of the tail spec.
+    pub d2: usize,
+    /// Time semantics-level attention heads.
+    pub time_heads: usize,
+    /// Mean-pool periods instead of attending (`w/o SA` variant).
+    pub mean_pool: bool,
+    /// Number of store types (the valid `type` query range).
+    pub n_types: usize,
+    /// Store-region node id per region (`None`: region hosts no stores and
+    /// scores 0, same as [`O2SiteRec::predict`]).
+    pub s_of_region: Vec<Option<usize>>,
+    /// Per-period store-region node embeddings `h` (`n_s × d2`, length 5).
+    pub h: Vec<Tensor>,
+    /// Per-period type node embeddings `q` (`n_a × d2`, length 5).
+    pub q: Vec<Tensor>,
+    /// Time-attention key projection `W_K`.
+    pub wk: Tensor,
+    /// Time-attention query projection `W_Q`.
+    pub wq: Tensor,
+    /// Prediction weight `W₂`.
+    pub pred_w: Tensor,
+    /// Prediction bias `b₂`.
+    pub pred_b: Tensor,
+}
 
 /// Loss trace of one training epoch.
 #[derive(Debug, Clone, Copy)]
@@ -429,6 +473,18 @@ impl O2SiteRec {
     /// (evaluation mode, dropout off). Regions that host no stores (hence
     /// have no store-region node) predict 0.
     pub fn predict(&self, pairs: &[(usize, usize)]) -> Vec<f32> {
+        self.predict_for(pairs, None)
+    }
+
+    /// [`Self::predict`] restricted to one time period: scores use only
+    /// that period's node embeddings (time attention over a single period).
+    /// `None` aggregates all five periods — the paper's score, bit-identical
+    /// to [`Self::predict`].
+    ///
+    /// This is the offline reference for the serving layer: a
+    /// `siterec-serve` query for `(region, type, period)` must reproduce
+    /// this function's output bits exactly.
+    pub fn predict_for(&self, pairs: &[(usize, usize)], period: Option<Period>) -> Vec<f32> {
         let mut node_pairs = Vec::new();
         let mut slot_of = vec![None; pairs.len()];
         for (i, &(region, ty)) in pairs.iter().enumerate() {
@@ -449,9 +505,14 @@ impl O2SiteRec {
             let o = c.forward(&mut g, &binds);
             o.period_embeddings
         });
-        let pred = self
-            .model
-            .forward(&mut g, &binds, caps.as_deref(), &ss, &aa);
+        let (hs, qs) = self.model.encode_periods(&mut g, &binds, caps.as_deref());
+        let (hs, qs) = match period {
+            Some(p) => (vec![hs[p.index()]], vec![qs[p.index()]]),
+            None => (hs, qs),
+        };
+        let per_period = gather_period_pairs(&mut g, &hs, &qs, &ss, &aa);
+        let w = self.model.tail_vars(&binds);
+        let pred = score_tail(&mut g, &self.model.tail_spec(), &w, &per_period);
         let values = g.value(pred);
         for (i, slot) in slot_of.iter().enumerate() {
             if let Some(j) = *slot {
@@ -459,6 +520,59 @@ impl O2SiteRec {
             }
         }
         out
+    }
+
+    /// Export everything the online serving layer needs: the per-period node
+    /// embeddings evaluated once in eval mode, the scoring-tail weights and
+    /// the region mapping. See [`ServingExport`].
+    pub fn export_serving(&self) -> ServingExport {
+        let _span = obs::span!("export_serving", model = MODEL_NAME);
+        let mut g = Graph::new();
+        g.training = false;
+        let binds = self.ps.bind(&mut g);
+        let caps = self.capacity.as_ref().map(|c| {
+            let o = c.forward(&mut g, &binds);
+            o.period_embeddings
+        });
+        let (hs, qs) = self.model.encode_periods(&mut g, &binds, caps.as_deref());
+        let spec = self.model.tail_spec();
+        let (wk, wq, pred_w, pred_b) = self.model.export_tail(&self.ps);
+        ServingExport {
+            model: MODEL_NAME.to_string(),
+            seed: self.cfg.seed,
+            trained_epochs: self.history.len(),
+            d2: spec.d2,
+            time_heads: spec.time_heads,
+            mean_pool: spec.mean_pool,
+            n_types: self.hetero.n_types,
+            s_of_region: self.hetero.s_of_region.clone(),
+            h: hs.iter().map(|&v| g.value(v).clone()).collect(),
+            q: qs.iter().map(|&v| g.value(v).clone()).collect(),
+            wk,
+            wq,
+            pred_w,
+            pred_b,
+        }
+    }
+
+    /// Replace this model's parameters and loss history with the newest
+    /// valid checkpoint in `dir` (the serving-side read path: build the
+    /// model from the training recipe, then adopt the trained weights).
+    ///
+    /// Returns the checkpoint's committed-epoch count, or `None` when the
+    /// directory holds no checkpoint for this model name and seed — the
+    /// model is left untouched in that case. Corrupt generations are skipped
+    /// exactly as during training resume.
+    pub fn restore_latest(&mut self, dir: &std::path::Path) -> std::io::Result<Option<usize>> {
+        match checkpoint::load_latest(dir)? {
+            Some(state) if state.model == MODEL_NAME && state.seed == self.cfg.seed => {
+                self.ps = state.params;
+                self.history =
+                    decode_history(&state.user).expect("CRC-valid history payload decodes");
+                Ok(Some(state.next_epoch))
+            }
+            _ => Ok(None),
+        }
     }
 
     /// Rank candidate regions for a target store type: returns

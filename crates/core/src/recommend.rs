@@ -51,6 +51,126 @@ struct SaStructure {
     attr: Tensor,
 }
 
+/// The scoring tail's weights as tape vars: the two time semantics-level
+/// attention projections (Eqs. 13–15) and the prediction head (Eq. 16).
+///
+/// During training these are bound parameters ([`HeteroModel::forward`]
+/// builds them from the live [`Bindings`]); when serving they are constants
+/// reconstructed from a checkpoint (`siterec-serve`). Both paths feed the
+/// same [`score_tail`] function, so the op sequence — and therefore every
+/// output bit — is identical by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct TailVars {
+    /// Time-attention key projection `W_K` (`2·d2 × 2·d2`, no bias).
+    pub wk: Var,
+    /// Time-attention query projection `W_Q` (`2·d2 × 2·d2`, no bias).
+    pub wq: Var,
+    /// Prediction weight `W₂` (`2·d2 × 1`).
+    pub pred_w: Var,
+    /// Prediction bias (`1 × 1`).
+    pub pred_b: Var,
+}
+
+/// Shape and variant facts the scoring tail needs (a checkpoint-independent
+/// subset of [`SiteRecConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailSpec {
+    /// Heterogeneous-graph embedding size `d2`.
+    pub d2: usize,
+    /// Time semantics-level attention heads.
+    pub time_heads: usize,
+    /// Mean-pool the periods instead of attending over them
+    /// (the `w/o SA` ablation, [`Variant::WithoutTimeAttention`]).
+    pub mean_pool: bool,
+}
+
+/// Per-period pair embeddings `H_{sa,t} = [h_s, q_a]`: gather the pair rows
+/// out of each period's node embeddings and concatenate. Shared verbatim by
+/// the training forward pass and the serving scorer (where `hs`/`qs` are
+/// constants loaded from the embedding store) — one more link in the
+/// bit-equality chain between offline and online inference.
+pub fn gather_period_pairs(
+    g: &mut Graph,
+    hs: &[Var],
+    qs: &[Var],
+    pair_s: &[usize],
+    pair_a: &[usize],
+) -> Vec<Var> {
+    assert_eq!(hs.len(), qs.len());
+    hs.iter()
+        .zip(qs.iter())
+        .map(|(&h, &q)| {
+            let h_b = g.gather_rows(h, pair_s);
+            let q_b = g.gather_rows(q, pair_a);
+            g.concat_cols(&[h_b, q_b])
+        })
+        .collect()
+}
+
+/// Steps 4–5 of the model (Fig. 9): time semantics-level aggregation over
+/// the per-period pair embeddings, then `p̂ = σ(W₂ H_sa)`.
+///
+/// `per_period` may hold any non-empty subset of the five periods (a
+/// single-period slice answers period-restricted serving queries); with all
+/// five it reproduces the paper's aggregate score exactly.
+pub fn score_tail(g: &mut Graph, spec: &TailSpec, w: &TailVars, per_period: &[Var]) -> Var {
+    assert!(
+        !per_period.is_empty(),
+        "score_tail needs at least one period"
+    );
+    let h_sa = if spec.mean_pool {
+        let sum = g.add_n(per_period);
+        g.scale(sum, 1.0 / per_period.len() as f32)
+    } else {
+        time_attention(g, spec, w, per_period)
+    };
+    let lin = g.matmul(h_sa, w.pred_w);
+    let lin = g.add_row_broadcast(lin, w.pred_b);
+    g.sigmoid(lin)
+}
+
+/// Multi-head attention pooling over the `J ≤ 5` period embeddings
+/// (Eqs. 13–15).
+fn time_attention(g: &mut Graph, spec: &TailSpec, w: &TailVars, per_period: &[Var]) -> Var {
+    let heads = spec.time_heads;
+    let dim = 2 * spec.d2;
+    let head_dim = dim / heads;
+    let j = per_period.len();
+
+    // Per-period keys and queries (all heads at once; W_K/W_Q carry no bias).
+    let keys: Vec<Var> = per_period.iter().map(|&h| g.matmul(h, w.wk)).collect();
+    let queries: Vec<Var> = per_period.iter().map(|&h| g.matmul(h, w.wq)).collect();
+
+    let mut head_outs = Vec::with_capacity(heads);
+    for i in 0..heads {
+        let k_i: Vec<Var> = keys
+            .iter()
+            .map(|&k| g.slice_cols(k, i * head_dim, head_dim))
+            .collect();
+        let q_i: Vec<Var> = queries
+            .iter()
+            .map(|&q| g.slice_cols(q, i * head_dim, head_dim))
+            .collect();
+        // score_{b,t} = <Q_t, K_t> per batch row; softmax over t.
+        let scores: Vec<Var> = (0..j).map(|t| g.row_dot(q_i[t], k_i[t])).collect();
+        let score_mat = g.concat_cols(&scores); // B x J
+        let alpha = g.softmax_rows(score_mat);
+        // out = Σ_t α_t K_t.
+        let mut acc: Option<Var> = None;
+        for (t, &k_t) in k_i.iter().enumerate() {
+            let a_t = g.slice_cols(alpha, t, 1);
+            let w_t = g.mul_col_broadcast(k_t, a_t);
+            acc = Some(match acc {
+                Some(prev) => g.add(prev, w_t),
+                None => w_t,
+            });
+        }
+        let pooled = acc.expect("at least one period");
+        head_outs.push(g.relu(pooled)); // σ(Σ α K), Eq. 15
+    }
+    g.concat_cols(&head_outs)
+}
+
 /// Per-layer relation attentions and update weights.
 struct LayerParams {
     su: RelationAttention,
@@ -210,6 +330,38 @@ impl HeteroModel {
         }
     }
 
+    /// Shape/variant facts of this model's scoring tail.
+    pub fn tail_spec(&self) -> TailSpec {
+        TailSpec {
+            d2: self.cfg.d2,
+            time_heads: self.cfg.time_heads,
+            mean_pool: self.cfg.variant == Variant::WithoutTimeAttention,
+        }
+    }
+
+    /// The tail weights as bound tape vars (training / offline inference).
+    pub(crate) fn tail_vars(&self, binds: &Bindings) -> TailVars {
+        TailVars {
+            wk: binds.var(self.time_wk.w),
+            wq: binds.var(self.time_wq.w),
+            pred_w: binds.var(self.predict.w),
+            pred_b: binds.var(self.predict.b.expect("predict layer has bias")),
+        }
+    }
+
+    /// The tail weights as raw tensors `(W_K, W_Q, W₂, b₂)`, for export into
+    /// a serving embedding store.
+    pub(crate) fn export_tail(&self, ps: &ParamStore) -> (Tensor, Tensor, Tensor, Tensor) {
+        (
+            ps.get(self.time_wk.w).value.clone(),
+            ps.get(self.time_wq.w).value.clone(),
+            ps.get(self.predict.w).value.clone(),
+            ps.get(self.predict.b.expect("predict layer has bias"))
+                .value
+                .clone(),
+        )
+    }
+
     /// Forward pass for a batch of (store-region node, type node) pairs.
     ///
     /// `capacity`: per-period region-embedding vars from Module 2 (length 5),
@@ -223,8 +375,30 @@ impl HeteroModel {
         pair_a: &[usize],
     ) -> Var {
         assert_eq!(pair_s.len(), pair_a.len());
+        // Steps 1-3: encode every period's node embeddings.
+        let (hs, qs) = self.encode_periods(g, binds, capacity);
+        // Per-pair concatenated embeddings H_{sa,t} = [h_s, q_a].
+        let per_period = gather_period_pairs(g, &hs, &qs, pair_s, pair_a);
+        debug_assert!(per_period
+            .iter()
+            .all(|&p| g.value(p).cols() == 2 * self.cfg.d2));
+        // Steps 4-5: time semantics-level aggregation + prediction.
+        let w = self.tail_vars(binds);
+        score_tail(g, &self.tail_spec(), &w, &per_period)
+    }
+
+    /// Steps 1–3 (Fig. 9): node/edge attribute fusion and `l` rounds of
+    /// node-level aggregation, per period. Returns the store-region node
+    /// embeddings `h` and type node embeddings `q` of each of the five
+    /// periods — everything pair-independent, which is exactly what the
+    /// serving embedding store precomputes.
+    pub(crate) fn encode_periods(
+        &self,
+        g: &mut Graph,
+        binds: &Bindings,
+        capacity: Option<&[Var]>,
+    ) -> (Vec<Var>, Vec<Var>) {
         let mean_agg = self.cfg.variant == Variant::WithoutNodeAttention;
-        let d2 = self.cfg.d2;
 
         // Step 1: node attribute fusion (shared across periods).
         let s_feat = g.constant(self.s_feat.clone());
@@ -247,7 +421,8 @@ impl HeteroModel {
         let n_a = g.value(q0).rows();
 
         // Steps 2-3 per period: edge fusion + node-level aggregation.
-        let mut per_period: Vec<Var> = Vec::with_capacity(Period::COUNT);
+        let mut hs: Vec<Var> = Vec::with_capacity(Period::COUNT);
+        let mut qs: Vec<Var> = Vec::with_capacity(Period::COUNT);
         for (pi, ps_struct) in self.periods.iter().enumerate() {
             // Step 2: S-U edge attribute fusion with capacity embeddings.
             let su_attr = if ps_struct.su_srcs.is_empty() {
@@ -360,71 +535,10 @@ impl HeteroModel {
                 q = q_next;
             }
 
-            // Per-pair concatenated embedding H_{sa,t} = [h_s, q_a].
-            let h_b = g.gather_rows(h, pair_s);
-            let q_b = g.gather_rows(q, pair_a);
-            per_period.push(g.concat_cols(&[h_b, q_b]));
-            debug_assert_eq!(g.value(per_period[pi]).cols(), 2 * d2);
+            hs.push(h);
+            qs.push(q);
         }
-
-        // Step 4: time semantics-level aggregation (Eqs. 13-15).
-        let h_sa = if self.cfg.variant == Variant::WithoutTimeAttention {
-            let sum = g.add_n(&per_period);
-            g.scale(sum, 1.0 / Period::COUNT as f32)
-        } else {
-            self.time_attention(g, binds, &per_period)
-        };
-
-        // Step 5: prediction p̂ = σ(W₂ H_sa).
-        let lin = self.predict.forward(g, binds, h_sa);
-        g.sigmoid(lin)
-    }
-
-    /// Multi-head attention pooling over the `J = 5` period embeddings.
-    fn time_attention(&self, g: &mut Graph, binds: &Bindings, per_period: &[Var]) -> Var {
-        let heads = self.cfg.time_heads;
-        let dim = 2 * self.cfg.d2;
-        let head_dim = dim / heads;
-        let j = per_period.len();
-
-        // Per-period keys and queries (all heads at once).
-        let keys: Vec<Var> = per_period
-            .iter()
-            .map(|&h| self.time_wk.forward(g, binds, h))
-            .collect();
-        let queries: Vec<Var> = per_period
-            .iter()
-            .map(|&h| self.time_wq.forward(g, binds, h))
-            .collect();
-
-        let mut head_outs = Vec::with_capacity(heads);
-        for i in 0..heads {
-            let k_i: Vec<Var> = keys
-                .iter()
-                .map(|&k| g.slice_cols(k, i * head_dim, head_dim))
-                .collect();
-            let q_i: Vec<Var> = queries
-                .iter()
-                .map(|&q| g.slice_cols(q, i * head_dim, head_dim))
-                .collect();
-            // score_{b,t} = <Q_t, K_t> per batch row; softmax over t.
-            let scores: Vec<Var> = (0..j).map(|t| g.row_dot(q_i[t], k_i[t])).collect();
-            let score_mat = g.concat_cols(&scores); // B x J
-            let alpha = g.softmax_rows(score_mat);
-            // out = Σ_t α_t K_t.
-            let mut acc: Option<Var> = None;
-            for (t, &k_t) in k_i.iter().enumerate() {
-                let a_t = g.slice_cols(alpha, t, 1);
-                let w = g.mul_col_broadcast(k_t, a_t);
-                acc = Some(match acc {
-                    Some(prev) => g.add(prev, w),
-                    None => w,
-                });
-            }
-            let pooled = acc.expect("at least one period");
-            head_outs.push(g.relu(pooled)); // σ(Σ α K), Eq. 15
-        }
-        g.concat_cols(&head_outs)
+        (hs, qs)
     }
 }
 

@@ -24,6 +24,8 @@
 //! | `checkpoint_corrupt` | `path` (str), `reason` (str)                          |
 //! | `resume`      | `model` (str), `epoch` (num), `path` (str)                   |
 //! | `bench_artifact` | `name` (str), `path` (str)                                |
+//! | `serve_request` | `endpoint` (str), `status` (num), `n` (num), `dur_ns` (num) |
+//! | `serve_reload` | `source` (str), `epoch` (num), `dur_ns` (num)              |
 //!
 //! Unknown types fail validation: the schema is closed so that a typo in an
 //! emitting call site is caught by CI rather than silently ignored.
@@ -257,6 +259,23 @@ const SCHEMA: &[(&str, &[(&str, Kind)])] = &[
     (
         "bench_artifact",
         &[("name", Kind::Str), ("path", Kind::Str)],
+    ),
+    (
+        "serve_request",
+        &[
+            ("endpoint", Kind::Str),
+            ("status", Kind::Num),
+            ("n", Kind::Num),
+            ("dur_ns", Kind::Num),
+        ],
+    ),
+    (
+        "serve_reload",
+        &[
+            ("source", Kind::Str),
+            ("epoch", Kind::Num),
+            ("dur_ns", Kind::Num),
+        ],
     ),
 ];
 

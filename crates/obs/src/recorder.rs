@@ -351,6 +351,28 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the log2 buckets:
+    /// walk the cumulative counts to the bucket holding the `ceil(q·count)`-th
+    /// observation and report that bucket's upper bound, clamped to the exact
+    /// observed `[min, max]`. The estimate is conservative (an upper bound
+    /// within one power of two) and, being pure integer bucket math, is
+    /// identical across runs and platforms. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = Self::bucket_bounds(i);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// The non-empty buckets as `(bucket_index, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         self.buckets

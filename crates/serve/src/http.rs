@@ -1,0 +1,230 @@
+//! A minimal, dependency-free HTTP/1.1 codec: just enough protocol for the
+//! serving endpoints (request line + headers + `Content-Length` body in;
+//! status line + headers + body out; HTTP/1.1 persistent connections with
+//! `Connection: close` honored). Not a general web server — unsupported
+//! constructs (chunked bodies, upgrades) are rejected with a clean 400.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request body; longer bodies are rejected (413).
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased by the client.
+    pub method: String,
+    /// Request path including any query string (`/v1/score`).
+    pub path: String,
+    /// Lowercased `(name, value)` header pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Does the client ask to drop the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A request-parse failure, carrying the HTTP status the server should
+/// answer with before closing the connection.
+#[derive(Debug)]
+pub struct ParseError {
+    /// Response status code (400 or 413).
+    pub status: u16,
+    /// Human-readable reason included in the error body.
+    pub message: String,
+}
+
+impl ParseError {
+    fn bad(message: impl Into<String>) -> ParseError {
+        ParseError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Read one request from a buffered connection.
+///
+/// Returns `Ok(None)` on clean EOF before any bytes (the client closed a
+/// keep-alive connection), `Err(Ok(e))`-style parse failures as
+/// `Ok(Some(Err(..)))` so the caller can answer with the right status, and
+/// `Err` only for transport-level I/O failures.
+#[allow(clippy::type_complexity)]
+pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Result<Request, ParseError>>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let line = line.trim_end();
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => {
+            return Ok(Some(Err(ParseError::bad(format!(
+                "bad request line {line:?}"
+            )))))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(Some(Err(ParseError::bad(format!(
+            "unsupported protocol {version:?}"
+        )))));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        if r.read_line(&mut h)? == 0 {
+            return Ok(Some(Err(ParseError::bad("eof inside headers"))));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        match h.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+            None => return Ok(Some(Err(ParseError::bad(format!("bad header {h:?}"))))),
+        }
+    }
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Ok(Some(Err(ParseError::bad(
+            "chunked transfer encoding is not supported",
+        ))));
+    }
+    let len = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Ok(Some(Err(ParseError::bad(format!(
+                    "bad content-length {v:?}"
+                )))))
+            }
+        },
+        None => 0,
+    };
+    if len > MAX_BODY_BYTES {
+        return Ok(Some(Err(ParseError {
+            status: 413,
+            message: format!("body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"),
+        })));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let body = match String::from_utf8(body) {
+        Ok(s) => s,
+        Err(_) => return Ok(Some(Err(ParseError::bad("body is not valid UTF-8")))),
+    };
+    Ok(Some(Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })))
+}
+
+/// Canonical reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one response: status line, `Content-Type`/`Content-Length`, any
+/// extra headers (e.g. `Retry-After` on a 503), then the body.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(w, "\r\n{body}")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = "POST /v1/score HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut BufReader::new(raw.as_bytes()))
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/score");
+        assert_eq!(req.body, "hello");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_request(&mut BufReader::new(&b""[..]))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn garbage_is_a_400_not_an_io_error() {
+        let raw = "NOT-HTTP\r\n\r\n";
+        let err = read_request(&mut BufReader::new(raw.as_bytes()))
+            .unwrap()
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        let err = read_request(&mut BufReader::new(raw.as_bytes()))
+            .unwrap()
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn response_includes_extra_headers() {
+        let mut out = Vec::new();
+        write_response(&mut out, 503, "{}", &[("Retry-After", "1".to_string())]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,326 @@
+//! `siterec-serve`: train, serve, and query O²-SiteRec site recommendations.
+//!
+//! Three subcommands (see SERVING.md for the operator guide):
+//!
+//! * `train  --recipe tiny:7 --ckpt DIR [--epochs N]` — train the recipe's
+//!   model with durable checkpoints (resumes if the directory already holds
+//!   one).
+//! * `run    --recipe tiny:7 --ckpt DIR [--addr A] [--workers N] [--queue N]
+//!   [--batch N] [--cache N] [--image PATH] [--max-requests N]` — rebuild
+//!   the model from the recipe, adopt the newest checkpoint, export the
+//!   embedding store (optionally writing its `SREMB1` image), and serve.
+//!   Prints `listening on <addr>` once ready.
+//! * `query  --addr HOST:PORT [--retry N] <action>` — a tiny HTTP client for
+//!   scripts and CI: `--region R --type T [--period L]` scores one pair,
+//!   `--topk K --type T` ranks regions, `--healthz` / `--metrics` /
+//!   `--reload` / `--quit` hit the admin surface. Prints the response body.
+//!
+//! When `SITEREC_JOURNAL` is set, `run` writes the JSONL run-journal
+//! (including `serve_request` / `serve_reload` records) on graceful exit
+//! (`/admin/quit` or `--max-requests`).
+
+use siterec_obs as obs;
+use siterec_serve::server::{start, ServeConfig};
+use siterec_serve::store::EmbeddingStore;
+use siterec_serve::Recipe;
+use siterec_tensor::checkpoint::CheckpointPolicy;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        eprintln!("usage: siterec-serve <train|run|query> [flags]  (see SERVING.md)");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd {
+        "train" => cmd_train(rest),
+        "run" => cmd_run(rest),
+        "query" => cmd_query(rest),
+        other => Err(format!(
+            "unknown subcommand {other:?} (train | run | query)"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("siterec-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pull the value after a `--flag`, removing both from `args`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err(format!("missing value for {flag}"));
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(v))
+        }
+        None => Ok(None),
+    }
+}
+
+fn take_parsed<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<T>, String> {
+    match take_flag(args, flag)? {
+        Some(v) => v
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("bad value for {flag}: {v:?}")),
+        None => Ok(None),
+    }
+}
+
+fn reject_leftovers(args: &[String]) -> Result<(), String> {
+    match args.first() {
+        Some(a) => Err(format!("unknown flag {a:?}")),
+        None => Ok(()),
+    }
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let recipe: Recipe = take_flag(&mut args, "--recipe")?
+        .ok_or("train needs --recipe preset:seed")?
+        .parse()?;
+    let ckpt: PathBuf = take_flag(&mut args, "--ckpt")?
+        .ok_or("train needs --ckpt DIR")?
+        .into();
+    let epochs: usize = take_parsed(&mut args, "--epochs")?.unwrap_or(6);
+    reject_leftovers(&args)?;
+
+    let mut model = recipe.build_model(epochs);
+    let policy = CheckpointPolicy::new(&ckpt);
+    model
+        .try_train_resumable(&policy)
+        .map_err(|e| format!("training failed: {e:?}"))?;
+    let last = model.history().last().expect("trained at least one epoch");
+    println!(
+        "trained {recipe} to epoch {} (loss {:.6}) -> {}",
+        last.epoch,
+        last.loss,
+        ckpt.display()
+    );
+    if let Some(path) = obs::journal_path() {
+        obs::write_journal(path).map_err(|e| format!("journal write failed: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Build the embedding store by rebuilding the recipe model and adopting the
+/// newest checkpoint in `ckpt` (shared by startup and `/admin/reload`).
+fn build_store(recipe: Recipe, ckpt: &std::path::Path) -> Result<EmbeddingStore, String> {
+    let mut model = recipe.build_model(1);
+    match model.restore_latest(ckpt) {
+        Ok(Some(_epochs)) => Ok(EmbeddingStore::new(model.export_serving())),
+        Ok(None) => Err(format!(
+            "no checkpoint for recipe {recipe} in {} (run `siterec-serve train` first)",
+            ckpt.display()
+        )),
+        Err(e) => Err(format!("checkpoint dir {} unreadable: {e}", ckpt.display())),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let recipe: Recipe = take_flag(&mut args, "--recipe")?
+        .ok_or("run needs --recipe preset:seed")?
+        .parse()?;
+    let ckpt: PathBuf = take_flag(&mut args, "--ckpt")?
+        .ok_or("run needs --ckpt DIR")?
+        .into();
+    let mut cfg = ServeConfig::from_env();
+    if let Some(addr) = take_flag(&mut args, "--addr")? {
+        cfg.addr = addr;
+    }
+    if let Some(v) = take_parsed::<usize>(&mut args, "--workers")? {
+        cfg.workers = v.max(1);
+    }
+    if let Some(v) = take_parsed::<usize>(&mut args, "--queue")? {
+        cfg.queue_cap = v.max(1);
+    }
+    if let Some(v) = take_parsed::<usize>(&mut args, "--batch")? {
+        cfg.max_batch = v.max(1);
+    }
+    if let Some(v) = take_parsed::<usize>(&mut args, "--cache")? {
+        cfg.cache_cap = v.max(1);
+    }
+    cfg.max_requests = take_parsed::<u64>(&mut args, "--max-requests")?;
+    let image: Option<PathBuf> = take_flag(&mut args, "--image")?.map(PathBuf::from);
+    reject_leftovers(&args)?;
+
+    obs::record!("run_start", name = "siterec-serve");
+    let t_run = Instant::now();
+    let t0 = Instant::now();
+    let store = build_store(recipe, &ckpt)?;
+    obs::record!(
+        "serve_reload",
+        source = "startup",
+        epoch = store.trained_epochs(),
+        dur_ns = t0.elapsed().as_nanos() as u64,
+    );
+    if let Some(path) = &image {
+        let bytes = store
+            .write_image(path)
+            .map_err(|e| format!("image write to {} failed: {e}", path.display()))?;
+        println!("embedding image: {bytes} bytes -> {}", path.display());
+    }
+    println!(
+        "store: {} regions x {} types, {} epochs, {} tensor bytes",
+        store.n_regions(),
+        store.n_types(),
+        store.trained_epochs(),
+        store.tensor_bytes()
+    );
+
+    let reloader: siterec_serve::Reloader = Box::new(move || build_store(recipe, &ckpt));
+    let handle = start(store, cfg, Some(reloader)).map_err(|e| format!("could not bind: {e}"))?;
+    // The orchestrators (chaos_serve, ci.sh) parse this exact line.
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+    handle.join();
+
+    obs::record!(
+        "run_end",
+        name = "siterec-serve",
+        dur_ns = t_run.elapsed().as_nanos() as u64
+    );
+    if let Some(path) = obs::journal_path() {
+        let lines = obs::write_journal(path).map_err(|e| format!("journal write failed: {e}"))?;
+        eprintln!("[siterec] journal: {lines} lines -> {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr = take_flag(&mut args, "--addr")?.ok_or("query needs --addr HOST:PORT")?;
+    let retries: usize = take_parsed(&mut args, "--retry")?.unwrap_or(0);
+    let period = take_flag(&mut args, "--period")?;
+    let region: Option<usize> = take_parsed(&mut args, "--region")?;
+    let ty: Option<usize> = take_parsed(&mut args, "--type")?;
+    let topk: Option<usize> = take_parsed(&mut args, "--topk")?;
+    let healthz = take_bare(&mut args, "--healthz");
+    let metrics = take_bare(&mut args, "--metrics");
+    let reload = take_bare(&mut args, "--reload");
+    let quit = take_bare(&mut args, "--quit");
+    reject_leftovers(&args)?;
+
+    let period_json = match &period {
+        Some(label) => {
+            let mut s = String::new();
+            siterec_obs::json::write_escaped(&mut s, label);
+            s
+        }
+        None => "null".to_string(),
+    };
+    let (method, path, body) = if healthz {
+        ("GET", "/healthz", String::new())
+    } else if metrics {
+        ("GET", "/metrics", String::new())
+    } else if reload {
+        ("POST", "/admin/reload", String::new())
+    } else if quit {
+        ("POST", "/admin/quit", String::new())
+    } else if let Some(k) = topk {
+        let t = ty.ok_or("--topk also needs --type T")?;
+        (
+            "POST",
+            "/v1/recommend",
+            format!("{{\"type\":{t},\"k\":{k},\"period\":{period_json}}}\n"),
+        )
+    } else if let (Some(r), Some(t)) = (region, ty) {
+        (
+            "POST",
+            "/v1/score",
+            format!("{{\"region\":{r},\"type\":{t},\"period\":{period_json}}}\n"),
+        )
+    } else {
+        return Err(
+            "query needs one of: --region R --type T | --topk K --type T | --healthz | \
+             --metrics | --reload | --quit"
+                .to_string(),
+        );
+    };
+
+    let (status, response) = request_with_retry(&addr, method, path, &body, retries)?;
+    print!("{response}");
+    if status == 200 {
+        Ok(())
+    } else {
+        Err(format!("server answered {status}"))
+    }
+}
+
+fn take_bare(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn request_with_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    retries: usize,
+) -> Result<(u16, String), String> {
+    let mut last = String::new();
+    for attempt in 0..=retries {
+        match request_once(addr, method, path, body) {
+            Ok(out) => return Ok(out),
+            Err(e) => {
+                last = e;
+                if attempt < retries {
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+            }
+        }
+    }
+    Err(format!(
+        "request to {addr} failed after {} attempt(s): {last}",
+        retries + 1
+    ))
+}
+
+/// One HTTP/1.1 exchange over a fresh connection (`Connection: close`).
+fn request_once(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    let err = |e: std::io::Error| e.to_string();
+    let mut stream = TcpStream::connect(addr).map_err(err)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(err)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(err)?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(err)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response: {raw:?}"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}

@@ -1,0 +1,718 @@
+//! The thread-per-core HTTP/1.1 + JSONL serving loop: accept workers, a
+//! bounded job queue feeding a batching scorer, the LRU score cache, load
+//! shedding and live checkpoint reload.
+//!
+//! # Data flow
+//!
+//! ```text
+//! client ──HTTP──▶ worker 0..N  ──cache probe──▶ hit: answer immediately
+//!                     │                          miss: job ─▶ bounded queue
+//!                     │ queue full: 503 + Retry-After (load shed)
+//!                     ▼
+//!               batching scorer ── drains ≤ batch jobs ──▶ EmbeddingStore
+//!                     │                                        ▲
+//!                     └── scores ─▶ cache fill + reply      reload swaps
+//!                                                           (stale store
+//!                                                            serves until
+//!                                                            swap lands)
+//! ```
+//!
+//! # Determinism
+//!
+//! Identical checkpoint + identical request → bit-identical scores at any
+//! worker count: scoring runs through [`EmbeddingStore::score_batch`], whose
+//! bits are invariant to batch composition and thread count, and the cache
+//! stores the exact `f32` the scorer produced. Worker count, queue depth and
+//! batch size only change *when* a score is computed, never its value.
+
+use crate::cache::{ScoreCache, DEFAULT_CACHE_CAP};
+use crate::http::{self, Request};
+use crate::store::{EmbeddingStore, Query};
+use siterec_geo::Period;
+use siterec_obs::{self as obs, json, json::Json};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a worker waits for the scorer before failing a request (covers
+/// scorer scheduling, not model math, so it is generous).
+const SCORE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Poll interval of the scorer's condvar wait and the shutdown checks: the
+/// upper bound on shutdown latency. (The scorer is woken eagerly by every
+/// enqueue; this timeout only bounds how long it sleeps while idle.)
+const POLL: Duration = Duration::from_millis(20);
+
+/// Sleep between empty non-blocking `accept` polls. This bounds the latency
+/// a fresh connection pays before any worker picks it up, so it is much
+/// shorter than [`POLL`]; ~1k idle wakeups/s per worker is negligible.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Server configuration, assembled from defaults, `SITEREC_SERVE_*`
+/// environment knobs, and command-line overrides (in that order).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Accept/parse worker threads (`SITEREC_SERVE_WORKERS`, default:
+    /// available cores).
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue sheds load with 503
+    /// (`SITEREC_SERVE_QUEUE`, default 1024).
+    pub queue_cap: usize,
+    /// Most queries the scorer drains into one scoring batch
+    /// (`SITEREC_SERVE_BATCH`, default 64).
+    pub max_batch: usize,
+    /// LRU score-cache capacity (`SITEREC_SERVE_CACHE`, default 4096).
+    pub cache_cap: usize,
+    /// Exit after this many scoring requests (`--max-requests`; tests and
+    /// CI use it for a graceful, journal-flushing shutdown).
+    pub max_requests: Option<u64>,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig::from_env()
+    }
+}
+
+impl ServeConfig {
+    /// Defaults with every `SITEREC_SERVE_*` environment knob applied.
+    pub fn from_env() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: env_usize(
+                "SITEREC_SERVE_WORKERS",
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            ),
+            queue_cap: env_usize("SITEREC_SERVE_QUEUE", 1024),
+            max_batch: env_usize("SITEREC_SERVE_BATCH", 64),
+            cache_cap: env_usize("SITEREC_SERVE_CACHE", DEFAULT_CACHE_CAP),
+            max_requests: None,
+        }
+    }
+}
+
+/// Rebuilds a fresh [`EmbeddingStore`] for `/admin/reload` (the binary wires
+/// this to a checkpoint-directory re-read; in-process servers may omit it).
+pub type Reloader = Box<dyn Fn() -> Result<EmbeddingStore, String> + Send + Sync>;
+
+/// One queued scoring job: the query plus the reply slot it fills.
+struct Job {
+    query: Query,
+    slot: usize,
+    tx: mpsc::Sender<(usize, f32)>,
+}
+
+/// Bounded MPMC job queue (mutex + condvar; `push` never blocks — a full
+/// queue is the load-shedding signal).
+struct JobQueue {
+    inner: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueue unless full. `Err` returns the job to the caller (who sheds).
+    fn push(&self, job: Job) -> Result<(), Job> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= self.cap {
+            return Err(job);
+        }
+        q.push_back(job);
+        drop(q);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Drain up to `max` jobs, waiting up to [`POLL`] when empty.
+    fn pop_batch(&self, max: usize) -> Vec<Job> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.is_empty() {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(q, POLL)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+        let n = q.len().min(max);
+        q.drain(..n).collect()
+    }
+}
+
+/// Per-endpoint latency histogram plus the server-wide counters backing
+/// `/metrics`.
+struct Metrics {
+    start: Instant,
+    requests: AtomicU64,
+    scored: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+    reloads: AtomicU64,
+    score_lat: Mutex<obs::Histogram>,
+    recommend_lat: Mutex<obs::Histogram>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            start: Instant::now(),
+            requests: AtomicU64::new(0),
+            scored: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            score_lat: Mutex::new(obs::Histogram::default()),
+            recommend_lat: Mutex::new(obs::Histogram::default()),
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    store: RwLock<Arc<EmbeddingStore>>,
+    cache: Mutex<ScoreCache>,
+    queue: JobQueue,
+    metrics: Metrics,
+    reloader: Option<Reloader>,
+    shutdown: AtomicBool,
+    serve_requests: AtomicU64,
+}
+
+impl Shared {
+    fn current_store(&self) -> Arc<EmbeddingStore> {
+        self.store.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.cv.notify_all();
+    }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server: its bound address plus the handles needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask every thread to stop (idempotent; threads notice within one poll
+    /// interval).
+    pub fn shutdown(&self) {
+        self.shared.stop();
+    }
+
+    /// True once shutdown was requested (by [`Self::shutdown`], an
+    /// `/admin/quit`, or the `max_requests` budget running out).
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping()
+    }
+
+    /// Block until every worker and the scorer exit. Call
+    /// [`Self::shutdown`] first (or rely on `/admin/quit` / `max_requests`).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Start the server: bind `cfg.addr`, spawn `cfg.workers` accept workers
+/// plus the batching scorer, and return immediately.
+pub fn start(
+    store: EmbeddingStore,
+    cfg: ServeConfig,
+    reloader: Option<Reloader>,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared {
+        cache: Mutex::new(ScoreCache::new(cfg.cache_cap)),
+        queue: JobQueue::new(cfg.queue_cap),
+        metrics: Metrics::new(),
+        store: RwLock::new(Arc::new(store)),
+        reloader,
+        shutdown: AtomicBool::new(false),
+        serve_requests: AtomicU64::new(0),
+        cfg,
+    });
+    let mut threads = Vec::new();
+    for worker in 0..shared.cfg.workers.max(1) {
+        let sh = shared.clone();
+        let ln = listener.try_clone()?;
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{worker}"))
+                .spawn(move || accept_loop(&sh, &ln))?,
+        );
+    }
+    let sh = shared.clone();
+    threads.push(
+        std::thread::Builder::new()
+            .name("serve-scorer".to_string())
+            .spawn(move || scorer_loop(&sh))?,
+    );
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn accept_loop(sh: &Shared, listener: &TcpListener) {
+    while !sh.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle_connection(sh, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// The batching scorer: drains up to `max_batch` jobs, scores them in one
+/// [`EmbeddingStore::score_batch`] pass against the current store, fills the
+/// cache and answers every job.
+fn scorer_loop(sh: &Shared) {
+    loop {
+        let batch = sh.queue.pop_batch(sh.cfg.max_batch);
+        if batch.is_empty() {
+            if sh.stopping() {
+                return;
+            }
+            continue;
+        }
+        let store = sh.current_store();
+        let queries: Vec<Query> = batch.iter().map(|j| j.query).collect();
+        let scores = store.score_batch(&queries);
+        {
+            let mut cache = sh.cache.lock().unwrap_or_else(|e| e.into_inner());
+            for (job, &score) in batch.iter().zip(&scores) {
+                cache.put(job.query, score);
+            }
+        }
+        for (job, score) in batch.into_iter().zip(scores) {
+            // A dead receiver only means the requesting worker timed out.
+            let _ = job.tx.send((job.slot, score));
+        }
+    }
+}
+
+fn handle_connection(sh: &Shared, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    loop {
+        let req = match http::read_request(&mut reader) {
+            Ok(None) => return Ok(()),
+            Ok(Some(Ok(req))) => req,
+            Ok(Some(Err(e))) => {
+                let body = error_body(&e.message);
+                http::write_response(&mut out, e.status, &body, &[])?;
+                return Ok(());
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle keep-alive connection: poll the shutdown flag.
+                if sh.stopping() {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let close = req.wants_close();
+        let t0 = Instant::now();
+        let (status, body, extra) = dispatch(sh, &req);
+        sh.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        http::write_response(&mut out, status, &body, &extra)?;
+        let _ = out.flush();
+        if obs::enabled() {
+            let n = body.lines().count() as u64;
+            obs::record!(
+                "serve_request",
+                endpoint = req.path.as_str(),
+                status = u64::from(status),
+                n = n,
+                dur_ns = t0.elapsed().as_nanos() as u64,
+            );
+        }
+        obs::counter_add("serve.requests", 1);
+        if is_scoring_endpoint(&req.path) {
+            let served = sh.serve_requests.fetch_add(1, Ordering::SeqCst) + 1;
+            if sh.cfg.max_requests.is_some_and(|max| served >= max) {
+                sh.stop();
+            }
+        }
+        if close || sh.stopping() {
+            return Ok(());
+        }
+    }
+}
+
+fn is_scoring_endpoint(path: &str) -> bool {
+    path == "/v1/score" || path == "/v1/recommend"
+}
+
+fn error_body(message: &str) -> String {
+    let mut body = String::from("{\"error\":");
+    json::write_escaped(&mut body, message);
+    body.push('}');
+    body
+}
+
+/// Route one request. Returns `(status, body, extra headers)`.
+fn dispatch(sh: &Shared, req: &Request) -> (u16, String, Vec<(&'static str, String)>) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, healthz_body(sh), vec![]),
+        ("GET", "/metrics") => (200, metrics_body(sh), vec![]),
+        ("POST", "/v1/score") => handle_score(sh, &req.body),
+        ("POST", "/v1/recommend") => handle_recommend(sh, &req.body),
+        ("POST", "/admin/reload") => handle_reload(sh),
+        ("POST", "/admin/quit") => {
+            sh.stop();
+            (200, "{\"status\":\"stopping\"}".to_string(), vec![])
+        }
+        ("GET" | "POST", _) => (404, error_body(&format!("no route {}", req.path)), vec![]),
+        (m, _) => (405, error_body(&format!("method {m} not allowed")), vec![]),
+    }
+}
+
+fn healthz_body(sh: &Shared) -> String {
+    let store = sh.current_store();
+    let mut b = String::from("{\"status\":\"ok\",\"model\":");
+    json::write_escaped(&mut b, store.model());
+    b.push_str(&format!(
+        ",\"seed\":{},\"trained_epochs\":{},\"regions\":{},\"types\":{},\"tensor_bytes\":{}}}",
+        store.seed(),
+        store.trained_epochs(),
+        store.n_regions(),
+        store.n_types(),
+        store.tensor_bytes()
+    ));
+    b
+}
+
+fn hist_fragment(h: &obs::Histogram) -> String {
+    format!(
+        "{{\"count\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+        h.count(),
+        h.quantile(0.5) as u64,
+        h.quantile(0.99) as u64,
+        if h.count() == 0 { 0 } else { h.max() as u64 }
+    )
+}
+
+fn metrics_body(sh: &Shared) -> String {
+    let m = &sh.metrics;
+    let uptime = m.start.elapsed().as_secs_f64();
+    let requests = m.requests.load(Ordering::Relaxed);
+    let (hits, misses) = sh.cache.lock().unwrap_or_else(|e| e.into_inner()).stats();
+    let lookups = hits + misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+    let qps = if uptime > 0.0 {
+        requests as f64 / uptime
+    } else {
+        0.0
+    };
+    let score = hist_fragment(&m.score_lat.lock().unwrap_or_else(|e| e.into_inner()));
+    let rec = hist_fragment(&m.recommend_lat.lock().unwrap_or_else(|e| e.into_inner()));
+    let mut b = String::from("{");
+    b.push_str(&format!("\"uptime_secs\":{uptime:.3},"));
+    b.push_str(&format!(
+        "\"requests\":{requests},\"qps\":{qps:.3},\"scored_queries\":{},\"shed\":{},\"errors\":{},\"reloads\":{},",
+        m.scored.load(Ordering::Relaxed),
+        m.shed.load(Ordering::Relaxed),
+        m.errors.load(Ordering::Relaxed),
+        m.reloads.load(Ordering::Relaxed),
+    ));
+    b.push_str(&format!(
+        "\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4}}},"
+    ));
+    b.push_str(&format!(
+        "\"latency\":{{\"score\":{score},\"recommend\":{rec}}}}}"
+    ));
+    b
+}
+
+fn parse_period(v: Option<&Json>) -> Result<Option<Period>, String> {
+    match v {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Period::ALL
+            .iter()
+            .find(|p| p.label() == s)
+            .copied()
+            .map(Some)
+            .ok_or_else(|| {
+                format!(
+                    "unknown period {s:?} (expected one of: {})",
+                    Period::ALL.map(|p| p.label()).join(", ")
+                )
+            }),
+        Some(_) => Err("period must be a string label or null".to_string()),
+    }
+}
+
+fn parse_index(v: Option<&Json>, what: &str, bound: usize) -> Result<usize, String> {
+    let n = v
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing numeric {what:?} field"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("{what} must be a non-negative integer, got {n}"));
+    }
+    let i = n as usize;
+    if i >= bound {
+        return Err(format!("{what} {i} out of range (< {bound})"));
+    }
+    Ok(i)
+}
+
+fn period_json(p: Option<Period>) -> String {
+    match p {
+        Some(p) => {
+            let mut s = String::new();
+            json::write_escaped(&mut s, p.label());
+            s
+        }
+        None => "null".to_string(),
+    }
+}
+
+fn score_line(q: &Query, score: f32) -> String {
+    let mut line = format!(
+        "{{\"region\":{},\"type\":{},\"period\":{},\"score\":",
+        q.region,
+        q.ty,
+        period_json(q.period)
+    );
+    json::write_f64(&mut line, f64::from(score));
+    line.push('}');
+    line
+}
+
+/// `POST /v1/score`: body is JSONL, one query object per line; the response
+/// is JSONL in the same order, each line echoing the query plus its score.
+fn handle_score(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str, String)>) {
+    let t0 = Instant::now();
+    let store = sh.current_store();
+    let mut queries = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return (
+                    400,
+                    error_body(&format!("line {}: invalid JSON: {e}", i + 1)),
+                    vec![],
+                )
+            }
+        };
+        let build = || -> Result<Query, String> {
+            Ok(Query {
+                region: parse_index(parsed.get("region"), "region", store.n_regions())?,
+                ty: parse_index(parsed.get("type"), "type", store.n_types())?,
+                period: parse_period(parsed.get("period"))?,
+            })
+        };
+        match build() {
+            Ok(q) => queries.push(q),
+            Err(e) => {
+                return (400, error_body(&format!("line {}: {e}", i + 1)), vec![]);
+            }
+        }
+    }
+    if queries.is_empty() {
+        return (400, error_body("empty request: no query lines"), vec![]);
+    }
+
+    // Cache probe first; only misses travel through the queue.
+    let mut scores: Vec<Option<f32>> = vec![None; queries.len()];
+    {
+        let mut cache = sh.cache.lock().unwrap_or_else(|e| e.into_inner());
+        for (slot, q) in queries.iter().enumerate() {
+            scores[slot] = cache.get(q);
+        }
+    }
+    let misses: Vec<usize> = (0..queries.len())
+        .filter(|&i| scores[i].is_none())
+        .collect();
+    if !misses.is_empty() {
+        let (tx, rx) = mpsc::channel();
+        let mut queued = 0usize;
+        for &slot in &misses {
+            let job = Job {
+                query: queries[slot],
+                slot,
+                tx: tx.clone(),
+            };
+            if sh.queue.push(job).is_err() {
+                // Bounded queue full: shed the whole request so the client
+                // retries against a healthy queue rather than half-waiting.
+                sh.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                obs::counter_add("serve.shed", 1);
+                return (
+                    503,
+                    error_body("score queue full; retry shortly"),
+                    vec![("Retry-After", "1".to_string())],
+                );
+            }
+            queued += 1;
+        }
+        drop(tx);
+        for _ in 0..queued {
+            match rx.recv_timeout(SCORE_TIMEOUT) {
+                Ok((slot, score)) => scores[slot] = Some(score),
+                Err(_) => {
+                    sh.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    return (500, error_body("scorer timed out"), vec![]);
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (q, s) in queries.iter().zip(&scores) {
+        out.push_str(&score_line(q, s.expect("every slot filled")));
+        out.push('\n');
+    }
+    sh.metrics
+        .scored
+        .fetch_add(queries.len() as u64, Ordering::Relaxed);
+    obs::counter_add("serve.scored", queries.len() as u64);
+    sh.metrics
+        .score_lat
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .record(t0.elapsed().as_nanos() as f64);
+    (200, out, vec![])
+}
+
+/// `POST /v1/recommend`: body is one JSON object `{"type": T, "k": K,
+/// "period": optional}`; the response is JSONL, one ranked line per region.
+fn handle_recommend(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str, String)>) {
+    let t0 = Instant::now();
+    let store = sh.current_store();
+    let parsed = match json::parse(body.trim()) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(&format!("invalid JSON: {e}")), vec![]),
+    };
+    let build = || -> Result<(usize, usize, Option<Period>), String> {
+        let ty = parse_index(parsed.get("type"), "type", store.n_types())?;
+        let k = match parsed.get("k") {
+            None => 10,
+            some => parse_index(some, "k", usize::MAX)?.max(1),
+        };
+        let period = parse_period(parsed.get("period"))?;
+        Ok((ty, k, period))
+    };
+    let (ty, k, period) = match build() {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(&e), vec![]),
+    };
+    let ranked = store.top_k(ty, period, k);
+    let mut out = String::new();
+    for (rank, (region, score)) in ranked.iter().enumerate() {
+        let mut line = format!(
+            "{{\"rank\":{},\"region\":{region},\"type\":{ty},\"period\":{},\"score\":",
+            rank + 1,
+            period_json(period)
+        );
+        json::write_f64(&mut line, f64::from(*score));
+        line.push_str("}\n");
+        out.push_str(&line);
+    }
+    sh.metrics
+        .scored
+        .fetch_add(ranked.len() as u64, Ordering::Relaxed);
+    obs::counter_add("serve.scored", ranked.len() as u64);
+    sh.metrics
+        .recommend_lat
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .record(t0.elapsed().as_nanos() as f64);
+    (200, out, vec![])
+}
+
+/// `POST /admin/reload`: rebuild the store from the configured source while
+/// the old store keeps serving, then swap atomically and clear the cache.
+fn handle_reload(sh: &Shared) -> (u16, String, Vec<(&'static str, String)>) {
+    let Some(reloader) = sh.reloader.as_ref() else {
+        return (
+            400,
+            error_body("this server has no reload source configured"),
+            vec![],
+        );
+    };
+    let t0 = Instant::now();
+    // The rebuild happens outside every lock: requests arriving meanwhile
+    // are served (possibly stale) by the old store and cache.
+    let fresh = match reloader() {
+        Ok(store) => store,
+        Err(e) => {
+            sh.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            return (500, error_body(&format!("reload failed: {e}")), vec![]);
+        }
+    };
+    let epoch = fresh.trained_epochs();
+    {
+        let mut slot = sh.store.write().unwrap_or_else(|e| e.into_inner());
+        *slot = Arc::new(fresh);
+    }
+    // Old-model scores must not survive the swap.
+    sh.cache.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    sh.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+    let dur_ns = t0.elapsed().as_nanos() as u64;
+    obs::record!(
+        "serve_reload",
+        source = "admin",
+        epoch = epoch,
+        dur_ns = dur_ns,
+    );
+    obs::counter_add("serve.reloads", 1);
+    (
+        200,
+        format!("{{\"status\":\"reloaded\",\"trained_epochs\":{epoch},\"dur_ns\":{dur_ns}}}"),
+        vec![],
+    )
+}

@@ -1,0 +1,27 @@
+//! Drives the `chaos_serve` orchestrator binary: train → serve → SIGKILL
+//! mid-traffic → respawn → assert bit-identical scores (see its module docs
+//! for the full scenario). The binary panics on any violated assertion, so
+//! this test only has to check the exit status and the final marker line.
+
+use std::process::Command;
+
+#[test]
+fn kill_and_resume_serves_identical_scores() {
+    let dir = std::env::temp_dir().join(format!("siterec_chaos_serve_test_{}", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_chaos_serve"))
+        .args(["--seed", "11", "--epochs", "2"])
+        .arg("--dir")
+        .arg(&dir)
+        .output()
+        .expect("run chaos_serve");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "chaos_serve failed\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+    );
+    assert!(
+        stdout.contains("chaos_serve: all assertions passed"),
+        "missing success marker\n--- stdout ---\n{stdout}"
+    );
+}

@@ -61,13 +61,15 @@
 use crate::optim::Adam;
 use crate::param::ParamStore;
 use crate::resilience::TrainGuard;
-use crate::wire::{crc32, DecodeError, Reader, Writer};
+use crate::wire::{DecodeError, Reader, Writer};
 use siterec_obs as obs;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
-pub use crate::wire::{DecodeError as ByteDecodeError, Reader as ByteReader, Writer as ByteWriter};
+pub use crate::wire::{
+    crc32, DecodeError as ByteDecodeError, Reader as ByteReader, Writer as ByteWriter,
+};
 
 /// File magic: the first eight bytes of every checkpoint.
 pub const MAGIC: &[u8; 8] = b"SRCKPT1\0";
@@ -415,19 +417,21 @@ pub fn load_latest(dir: &Path) -> io::Result<Option<TrainState>> {
     let mut files = generation_files(dir)?;
     files.reverse(); // newest first
     for path in files {
-        let bytes = match std::fs::read(&path) {
-            Ok(b) => b,
-            Err(e) => {
-                record_corrupt(&path, &format!("unreadable: {e}"));
-                continue;
-            }
-        };
-        match decode_state(&bytes) {
+        match load_file(&path) {
             Ok(state) => return Ok(Some(state)),
             Err(e) => record_corrupt(&path, &e.to_string()),
         }
     }
     Ok(None)
+}
+
+/// Read and decode one specific checkpoint file (no generation fallback):
+/// the serving read path, where the operator names an exact file and wants
+/// the precise failure rather than a silent skip. Every corruption mode
+/// [`decode_state`] detects surfaces as [`CheckpointError::Corrupt`].
+pub fn load_file(path: &Path) -> Result<TrainState, CheckpointError> {
+    let bytes = std::fs::read(path)?;
+    decode_state(&bytes)
 }
 
 fn record_corrupt(path: &Path, reason: &str) {
