@@ -59,6 +59,7 @@ run cargo run -q --release -p siterec-serve -- train \
 SITEREC_JOURNAL="$PWD/target/ci_serve/journal.jsonl" \
     SITEREC_SERVE_WORKERS=2 SITEREC_SERVE_QUEUE=256 \
     SITEREC_SERVE_BATCH=16 SITEREC_SERVE_CACHE=512 \
+    SITEREC_SERVE_SCORE_TIMEOUT_MS=10000 SITEREC_SERVE_READ_TIMEOUT_MS=500 \
     cargo run -q --release -p siterec-serve -- run \
     --recipe tiny:7 --ckpt target/ci_serve/ckpt --addr 127.0.0.1:47731 \
     --max-requests 3 --image target/ci_serve/emb.sremb &
@@ -80,6 +81,15 @@ run cargo run -q -p siterec-bench --bin validate_journal -- \
 # offline inference (plus a schema-valid journal from the surviving child).
 run cargo run -q --release -p siterec-serve --bin chaos_serve -- \
     --seed 7 --epochs 2 --dir target/ci_chaos_serve
+# Failpoint matrix smoke: sweep seeded fault schedules (checkpoint fsync /
+# section reads, journal appends, SREMB1 image I/O, reload + scorer drops)
+# over the full train -> checkpoint -> export -> serve -> reload lifecycle.
+# Every schedule must finish with zero panics, schema-valid journals whose
+# failpoint records match the registry's firing counts, at least one
+# degraded->recovered reload dance, and final scores raw-bit-identical to
+# the fault-free reference at 1 and 8 scorer/tensor threads.
+run cargo run -q --release -p siterec-serve --bin chaos_soak -- \
+    --seeds 3 --epochs 3 --threads 1,8 --dir target/ci_chaos_soak
 # Serving perf smoke: QPS + latency percentiles artifact, journal-validated.
 echo "ci: serving perf smoke + journal validation"
 SITEREC_SMOKE=1 SITEREC_JOURNAL="$PWD/target/ci_serve_bench.jsonl" \

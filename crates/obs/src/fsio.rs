@@ -10,7 +10,14 @@
 //! Used by the JSONL run-journal writer ([`crate::write_journal`]), the
 //! `siterec-tensor` checkpoint writer, and the bench artifact writers
 //! (`BENCH_parallel.json` / `BENCH_profile.json`).
+//!
+//! Every write funnels through a [`crate::failpoint`] seam: [`atomic_write`]
+//! checks the generic `fsio.atomic_write` failpoint, and callers that own a
+//! named seam (checkpoints, journal, embedding image) use
+//! [`atomic_write_fp`] to check their own name first. Read paths apply
+//! faults to already-read bytes via [`read_fault`].
 
+use crate::failpoint::{self, Fault, Mode};
 use std::fs::{self, File};
 use std::io::{self, Write as _};
 use std::path::Path;
@@ -22,7 +29,82 @@ use std::path::Path;
 /// process id, so concurrent writers of *different* destinations never
 /// collide. On any error the temp file is removed and the previous contents
 /// of `path`, if any, are left untouched.
+///
+/// Subject to the `fsio.atomic_write` failpoint (see [`atomic_write_fp`]
+/// for the fault-mode semantics).
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_fp(path, bytes, "fsio.atomic_write")
+}
+
+/// [`atomic_write`] with a named failpoint seam checked first.
+///
+/// Fault-mode semantics at a write seam:
+///
+/// - [`Mode::Err`]: nothing is written; the injected `io::Error` is
+///   returned (the destination keeps its previous contents — exactly the
+///   `atomic_write` failure contract).
+/// - [`Mode::Short`]: a truncated prefix is written **non-atomically** to
+///   the destination itself (a torn write, the very thing `atomic_write`
+///   exists to prevent) and the error is returned — downstream CRC checks
+///   must catch the damage.
+/// - [`Mode::Corrupt`]: one bit of the payload is flipped and the write
+///   succeeds silently.
+///
+/// The generic `fsio.atomic_write` seam is checked after `fp`, so blanket
+/// schedules hit every artifact writer without naming each one.
+pub fn atomic_write_fp(path: &Path, bytes: &[u8], fp: &str) -> io::Result<()> {
+    if let Some(fault) = failpoint::check(fp) {
+        return faulted_write(path, bytes, fp, fault);
+    }
+    if fp != "fsio.atomic_write" {
+        if let Some(fault) = failpoint::check("fsio.atomic_write") {
+            return faulted_write(path, bytes, "fsio.atomic_write", fault);
+        }
+    }
+    atomic_write_clean(path, bytes)
+}
+
+fn faulted_write(path: &Path, bytes: &[u8], fp: &str, fault: Fault) -> io::Result<()> {
+    match fault.mode {
+        Mode::Err => Err(fault.io_error(fp)),
+        Mode::Short => {
+            // A torn write: the prefix lands at the destination directly,
+            // bypassing the temp-file dance, then the caller sees an error.
+            let _ = fs::write(path, &bytes[..bytes.len() / 2]);
+            Err(fault.io_error(fp))
+        }
+        Mode::Corrupt => {
+            let mut copy = bytes.to_vec();
+            if !copy.is_empty() {
+                let mid = copy.len() / 2;
+                copy[mid] ^= 0x01;
+            }
+            atomic_write_clean(path, &copy)
+        }
+    }
+}
+
+/// Apply a named read-seam failpoint to bytes just read from disk:
+/// [`Mode::Err`] returns the injected error, [`Mode::Short`] truncates the
+/// buffer to half (a short read), [`Mode::Corrupt`] flips one bit. Unarmed,
+/// this is one relaxed atomic load.
+pub fn read_fault(fp: &str, bytes: &mut Vec<u8>) -> io::Result<()> {
+    if let Some(fault) = failpoint::check(fp) {
+        match fault.mode {
+            Mode::Err => return Err(fault.io_error(fp)),
+            Mode::Short => bytes.truncate(bytes.len() / 2),
+            Mode::Corrupt => {
+                if !bytes.is_empty() {
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x01;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn atomic_write_clean(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let dir = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p,
         _ => Path::new("."),

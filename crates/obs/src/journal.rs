@@ -26,6 +26,8 @@
 //! | `bench_artifact` | `name` (str), `path` (str)                                |
 //! | `serve_request` | `endpoint` (str), `status` (num), `n` (num), `dur_ns` (num) |
 //! | `serve_reload` | `source` (str), `epoch` (num), `dur_ns` (num)              |
+//! | `failpoint`   | `name` (str), `mode` (str), `hit` (num)                      |
+//! | `serve_degraded` | `reason` (str)                                            |
 //!
 //! Unknown types fail validation: the schema is closed so that a typo in an
 //! emitting call site is caught by CI rather than silently ignored.
@@ -111,12 +113,21 @@ pub fn journal_to_string() -> String {
 }
 
 /// Write the journal (see [`journal_to_string`]) to `path` atomically (via
-/// [`crate::atomic_write`], so a crash mid-write never leaves a torn
-/// journal), returning the number of lines written.
+/// [`crate::atomic_write_fp`], so a crash mid-write never leaves a torn
+/// journal) behind the `journal.append` failpoint seam with bounded retry,
+/// returning the number of lines written.
 pub fn write_journal(path: &Path) -> io::Result<usize> {
-    let text = journal_to_string();
-    crate::atomic_write(path, text.as_bytes())?;
-    Ok(text.lines().count())
+    let mut lines = 0;
+    crate::retry_io("write_journal", crate::RetryCfg::from_env(), || {
+        // Re-serialized on every attempt: a `journal.append` failpoint
+        // firing lands a `failpoint` record in the recorder, and the
+        // retried write must include it or the journal under-reports the
+        // very fault it just survived.
+        let text = journal_to_string();
+        lines = text.lines().count();
+        crate::fsio::atomic_write_fp(path, text.as_bytes(), "journal.append")
+    })?;
+    Ok(lines)
 }
 
 /// Per-type line counts from a validated journal.
@@ -277,6 +288,11 @@ const SCHEMA: &[(&str, &[(&str, Kind)])] = &[
             ("dur_ns", Kind::Num),
         ],
     ),
+    (
+        "failpoint",
+        &[("name", Kind::Str), ("mode", Kind::Str), ("hit", Kind::Num)],
+    ),
+    ("serve_degraded", &[("reason", Kind::Str)]),
 ];
 
 /// Validate JSONL journal text against the schema in the module docs.

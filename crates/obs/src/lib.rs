@@ -14,7 +14,11 @@
 //!   recording and per-op tape profiling),
 //! - `SITEREC_PROFILE=1` — enable recording and per-op tape profiling,
 //! - `SITEREC_LOG=off|summary|debug` — stderr verbosity for library crates
-//!   (default `off`: libraries print nothing).
+//!   (default `off`: libraries print nothing),
+//! - `SITEREC_FAILPOINTS=name=mode@N,…` — arm deterministic fault
+//!   injection at named I/O seams (see [`failpoint`]),
+//! - `SITEREC_IO_RETRIES` / `SITEREC_IO_BACKOFF_MS` — attempt budget and
+//!   backoff base for [`retry_io`] around durable writes.
 //!
 //! Tests and harnesses can override programmatically via [`set_enabled`],
 //! [`set_profiling`] and [`set_log_level`].
@@ -46,12 +50,14 @@
 
 #![warn(missing_docs)]
 
+pub mod failpoint;
 mod fsio;
 mod journal;
 pub mod json;
 mod recorder;
+mod retry;
 
-pub use fsio::atomic_write;
+pub use fsio::{atomic_write, atomic_write_fp, read_fault};
 pub use journal::{journal_to_string, validate_journal, write_journal, JournalStats};
 pub use recorder::{
     counter_add, enabled, event_fields, gauge_set, hist_record, journal_path, log_enabled,
@@ -59,6 +65,7 @@ pub use recorder::{
     set_log_level, set_profiling, snapshot, summary, Histogram, LogLevel, OpProfile, Record,
     Snapshot, SpanAgg, SpanGuard, Value, HIST_BUCKETS,
 };
+pub use retry::{retry_io, RetryCfg};
 
 /// Open a hierarchical span; returns a guard that records the span (name,
 /// path, fields, duration) when dropped. All arguments are evaluated only

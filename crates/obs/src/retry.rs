@@ -1,0 +1,168 @@
+//! Bounded deterministic retry with exponential backoff for transient I/O.
+//!
+//! Durable-write seams (checkpoints, the JSONL journal, embedding images)
+//! wrap their innermost write in [`retry_io`]: a failed attempt sleeps a
+//! deterministic, exponentially growing delay and tries again, up to a
+//! bounded attempt budget. The schedule is fixed up front — no jitter, no
+//! clock reads — so a given fault schedule produces the same sequence of
+//! attempts every run, keeping chaos harnesses replayable.
+//!
+//! The budget comes from [`RetryCfg::from_env`]:
+//!
+//! - `SITEREC_IO_RETRIES` — total attempts, default 3 (minimum 1),
+//! - `SITEREC_IO_BACKOFF_MS` — first backoff delay in ms, default 10;
+//!   each subsequent delay doubles, capped at 250 ms.
+//!
+//! Retrying is for *transient* faults (EIO, ENOSPC races, injected
+//! [`crate::failpoint`] errors); callers still surface the final error when
+//! the budget runs out, and corruption (which reads as success) is caught
+//! by CRC checks downstream, never here.
+
+use std::io;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Attempt budget and backoff schedule for [`retry_io`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryCfg {
+    /// Total attempts (≥ 1); 1 means no retry at all.
+    pub attempts: u32,
+    /// Delay before the second attempt; doubles each retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub cap: Duration,
+}
+
+impl RetryCfg {
+    /// A single attempt — behaviour identical to not retrying.
+    pub const fn none() -> RetryCfg {
+        RetryCfg {
+            attempts: 1,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+        }
+    }
+
+    /// The process-wide config: `SITEREC_IO_RETRIES` attempts (default 3)
+    /// starting at `SITEREC_IO_BACKOFF_MS` ms (default 10), capped at
+    /// 250 ms per delay. Parsed once; unparsable values keep the default.
+    pub fn from_env() -> RetryCfg {
+        static CFG: OnceLock<(u32, u64)> = OnceLock::new();
+        let &(attempts, base_ms) = CFG.get_or_init(|| {
+            let attempts = std::env::var("SITEREC_IO_RETRIES")
+                .ok()
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(3);
+            let base_ms = std::env::var("SITEREC_IO_BACKOFF_MS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(10);
+            (attempts, base_ms)
+        });
+        RetryCfg {
+            attempts,
+            base: Duration::from_millis(base_ms),
+            cap: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Run `f` until it succeeds or the attempt budget is spent, sleeping the
+/// deterministic backoff schedule between attempts. `what` labels the olog
+/// lines; retries tick the `io.retry.attempts` counter and a recovery
+/// after ≥1 failure ticks `io.retry.recovered`. Returns the last error
+/// when every attempt fails.
+pub fn retry_io<T>(
+    what: &str,
+    cfg: RetryCfg,
+    mut f: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let attempts = cfg.attempts.max(1);
+    let mut delay = cfg.base.min(cfg.cap);
+    let mut attempt = 1u32;
+    loop {
+        match f() {
+            Ok(v) => {
+                if attempt > 1 {
+                    crate::counter_add("io.retry.recovered", 1);
+                    crate::olog!(Summary, "{what}: recovered on attempt {attempt}/{attempts}");
+                }
+                return Ok(v);
+            }
+            Err(e) if attempt < attempts => {
+                crate::counter_add("io.retry.attempts", 1);
+                crate::olog!(
+                    Summary,
+                    "{what}: attempt {attempt}/{attempts} failed ({e}); retrying in {delay:?}"
+                );
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(cfg.cap);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_first_success_without_sleeping() {
+        let mut calls = 0;
+        let r = retry_io("t", RetryCfg::from_env(), || {
+            calls += 1;
+            Ok::<_, io::Error>(41 + calls)
+        });
+        assert_eq!(r.unwrap(), 42);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retries_transient_failures_within_budget() {
+        let cfg = RetryCfg {
+            attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+        };
+        let mut calls = 0;
+        let r = retry_io("t", cfg, || {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::other("transient"))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r.unwrap(), 3);
+    }
+
+    #[test]
+    fn surfaces_the_last_error_when_budget_spent() {
+        let cfg = RetryCfg {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(1),
+        };
+        let mut calls = 0;
+        let r = retry_io("t", cfg, || -> io::Result<()> {
+            calls += 1;
+            Err(io::Error::other(format!("fail {calls}")))
+        });
+        assert_eq!(calls, 2);
+        assert_eq!(r.unwrap_err().to_string(), "fail 2");
+    }
+
+    #[test]
+    fn none_means_exactly_one_attempt() {
+        let mut calls = 0;
+        let r = retry_io("t", RetryCfg::none(), || -> io::Result<()> {
+            calls += 1;
+            Err(io::Error::other("nope"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 1);
+    }
+}

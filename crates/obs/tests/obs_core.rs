@@ -13,12 +13,14 @@ fn lock() -> MutexGuard<'static, ()> {
     let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     obs::reset();
     obs::set_enabled(true);
+    obs::failpoint::disarm();
     guard
 }
 
 fn unlock(guard: MutexGuard<'static, ()>) {
     obs::reset();
     obs::set_enabled(false);
+    obs::failpoint::disarm();
     drop(guard);
 }
 
@@ -216,17 +218,26 @@ fn typed_records_roundtrip_through_validator() {
         epoch = 2u64,
         fault = "exploded"
     );
+    obs::record!(
+        "failpoint",
+        name = "ckpt.write.fsync",
+        mode = "short",
+        hit = 2u64
+    );
+    obs::record!("serve_degraded", reason = "reload failed: boom");
     obs::record!("run_end", name = "unit_test", dur_ns = 12345u64);
 
     let journal = obs::journal_to_string();
     let stats = obs::validate_journal(&journal).expect("journal validates");
-    assert_eq!(stats.lines, 6);
+    assert_eq!(stats.lines, 8);
     for kind in [
         "run_start",
         "train_epoch",
         "recovery",
         "job_failure",
         "train_error",
+        "failpoint",
+        "serve_degraded",
         "run_end",
     ] {
         assert_eq!(stats.count(kind), 1, "{kind}");
@@ -252,6 +263,91 @@ fn validator_rejects_schema_violations() {
     // Missing type tag.
     let err = obs::validate_journal("{\"name\":\"ok\"}").unwrap_err();
     assert!(err.contains("missing string \"type\""), "{err}");
+    // Failpoint record with a non-numeric hit count.
+    let err = obs::validate_journal(
+        "{\"type\":\"failpoint\",\"name\":\"x\",\"mode\":\"err\",\"hit\":\"two\"}",
+    )
+    .unwrap_err();
+    assert!(err.contains("must be a number"), "{err}");
+    // Degraded record without its reason.
+    let err = obs::validate_journal("{\"type\":\"serve_degraded\"}").unwrap_err();
+    assert!(err.contains("missing required field"), "{err}");
+    unlock(g);
+}
+
+#[test]
+fn failpoint_firing_is_deterministic_and_disarm_clears() {
+    let g = lock();
+    // `@2x2` fires on hits 2 and 3 exactly — every process replays the same
+    // firing pattern from the same schedule.
+    obs::failpoint::arm("det.test=err@2x2").unwrap();
+    let fired: Vec<bool> = (0..5)
+        .map(|_| obs::failpoint::check("det.test").is_some())
+        .collect();
+    assert_eq!(fired, [false, true, true, false, false]);
+    assert_eq!(obs::failpoint::hits("det.test"), 5);
+    // Unlisted names never fire, even while armed.
+    assert!(obs::failpoint::check("det.other").is_none());
+    // Each firing journaled one schema-valid `failpoint` record.
+    let stats = obs::validate_journal(&obs::journal_to_string()).unwrap();
+    assert_eq!(stats.count("failpoint"), 2);
+    // Disarm restores the unarmed fast path: nothing fires, nothing counts.
+    obs::failpoint::disarm();
+    assert!(!obs::failpoint::armed());
+    assert!(obs::failpoint::check("det.test").is_none());
+    assert_eq!(obs::failpoint::hits("det.test"), 0);
+    unlock(g);
+}
+
+#[test]
+fn fault_seams_damage_writes_and_reads_as_specified() {
+    let g = lock();
+    let dir = std::env::temp_dir().join(format!("siterec_obs_seams_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let payload = b"0123456789abcdef".to_vec();
+
+    // Write seam, `err`: the fault preempts the write entirely.
+    obs::failpoint::arm("seam.w=err").unwrap();
+    let p = dir.join("err.bin");
+    assert!(obs::atomic_write_fp(&p, &payload, "seam.w").is_err());
+    assert!(!p.exists(), "err fault must leave no file behind");
+
+    // Write seam, `short`: a torn prefix lands at the destination AND the
+    // caller sees an error — the retry/CRC layers above must cope.
+    obs::failpoint::arm("seam.w=short").unwrap();
+    let p = dir.join("short.bin");
+    assert!(obs::atomic_write_fp(&p, &payload, "seam.w").is_err());
+    assert_eq!(std::fs::read(&p).unwrap(), payload[..payload.len() / 2]);
+
+    // Write seam, `corrupt`: the write "succeeds" with exactly one bit
+    // flipped — only a downstream checksum can notice.
+    obs::failpoint::arm("seam.w=corrupt").unwrap();
+    let p = dir.join("corrupt.bin");
+    obs::atomic_write_fp(&p, &payload, "seam.w").unwrap();
+    let on_disk = std::fs::read(&p).unwrap();
+    let diff: u32 = on_disk
+        .iter()
+        .zip(&payload)
+        .map(|(a, b)| (a ^ b).count_ones())
+        .sum();
+    assert_eq!(diff, 1, "corrupt flips exactly one bit");
+
+    // Read seam: short truncates to half, corrupt flips one bit, err errors.
+    obs::failpoint::arm("seam.r=short").unwrap();
+    let mut buf = payload.clone();
+    obs::read_fault("seam.r", &mut buf).unwrap();
+    assert_eq!(buf, payload[..payload.len() / 2]);
+    obs::failpoint::arm("seam.r=corrupt").unwrap();
+    let mut buf = payload.clone();
+    obs::read_fault("seam.r", &mut buf).unwrap();
+    assert_ne!(buf, payload);
+    obs::failpoint::arm("seam.r=err").unwrap();
+    let mut buf = payload.clone();
+    assert!(obs::read_fault("seam.r", &mut buf).is_err());
+
+    obs::failpoint::disarm();
+    let _ = std::fs::remove_dir_all(&dir);
     unlock(g);
 }
 

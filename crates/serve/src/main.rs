@@ -273,6 +273,12 @@ fn take_bare(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
+/// Retry transport errors *and* retryable server answers (503 load shed,
+/// 504 scorer timeout) up to `retries` extra attempts. The backoff is
+/// deterministic — 100 ms doubling to a 2 s cap — and a `Retry-After`
+/// header from the server overrides the local schedule (capped the same),
+/// so a shedding server paces its own clients. The final attempt's answer
+/// (or last transport error) is returned as-is.
 fn request_with_retry(
     addr: &str,
     method: &str,
@@ -280,17 +286,30 @@ fn request_with_retry(
     body: &str,
     retries: usize,
 ) -> Result<(u16, String), String> {
+    const CAP: Duration = Duration::from_secs(2);
+    let mut delay = Duration::from_millis(100);
     let mut last = String::new();
     for attempt in 0..=retries {
         match request_once(addr, method, path, body) {
-            Ok(out) => return Ok(out),
+            Ok((status, response, retry_after)) => {
+                let retryable = status == 503 || status == 504;
+                if !retryable || attempt == retries {
+                    return Ok((status, response));
+                }
+                let wait = retry_after
+                    .map(Duration::from_secs)
+                    .unwrap_or(delay)
+                    .min(CAP);
+                std::thread::sleep(wait);
+            }
             Err(e) => {
                 last = e;
                 if attempt < retries {
-                    std::thread::sleep(Duration::from_millis(200));
+                    std::thread::sleep(delay.min(CAP));
                 }
             }
         }
+        delay = (delay * 2).min(CAP);
     }
     Err(format!(
         "request to {addr} failed after {} attempt(s): {last}",
@@ -299,7 +318,13 @@ fn request_with_retry(
 }
 
 /// One HTTP/1.1 exchange over a fresh connection (`Connection: close`).
-fn request_once(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+/// Returns `(status, body, Retry-After seconds if the server sent one)`.
+fn request_once(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String, Option<u64>), String> {
     let err = |e: std::io::Error| e.to_string();
     let mut stream = TcpStream::connect(addr).map_err(err)?;
     stream
@@ -318,9 +343,17 @@ fn request_once(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("malformed response: {raw:?}"))?;
-    let body = raw
+    let (head, body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok((status, body))
+        .map(|(h, b)| (h, b.to_string()))
+        .unwrap_or((raw.as_str(), String::new()));
+    let retry_after = head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("retry-after") {
+            value.trim().parse::<u64>().ok()
+        } else {
+            None
+        }
+    });
+    Ok((status, body, retry_after))
 }

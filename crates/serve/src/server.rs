@@ -38,10 +38,6 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How long a worker waits for the scorer before failing a request (covers
-/// scorer scheduling, not model math, so it is generous).
-const SCORE_TIMEOUT: Duration = Duration::from_secs(30);
-
 /// Poll interval of the scorer's condvar wait and the shutdown checks: the
 /// upper bound on shutdown latency. (The scorer is woken eagerly by every
 /// enqueue; this timeout only bounds how long it sleeps while idle.)
@@ -72,6 +68,14 @@ pub struct ServeConfig {
     /// Exit after this many scoring requests (`--max-requests`; tests and
     /// CI use it for a graceful, journal-flushing shutdown).
     pub max_requests: Option<u64>,
+    /// How long a worker waits for the scorer before answering 504
+    /// (`SITEREC_SERVE_SCORE_TIMEOUT_MS`, default 30 000 ms — covers scorer
+    /// scheduling, not model math, so it is generous).
+    pub score_timeout: Duration,
+    /// Per-connection socket read timeout, which is also the idle
+    /// keep-alive poll interval for the shutdown flag
+    /// (`SITEREC_SERVE_READ_TIMEOUT_MS`, default 500 ms).
+    pub read_timeout: Duration,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -80,6 +84,16 @@ fn env_usize(name: &str, default: usize) -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&v| v > 0)
         .unwrap_or(default)
+}
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(default_ms),
+    )
 }
 
 impl Default for ServeConfig {
@@ -101,6 +115,8 @@ impl ServeConfig {
             max_batch: env_usize("SITEREC_SERVE_BATCH", 64),
             cache_cap: env_usize("SITEREC_SERVE_CACHE", DEFAULT_CACHE_CAP),
             max_requests: None,
+            score_timeout: env_ms("SITEREC_SERVE_SCORE_TIMEOUT_MS", 30_000),
+            read_timeout: env_ms("SITEREC_SERVE_READ_TIMEOUT_MS", 500),
         }
     }
 }
@@ -169,6 +185,7 @@ struct Metrics {
     shed: AtomicU64,
     errors: AtomicU64,
     reloads: AtomicU64,
+    timeouts: AtomicU64,
     score_lat: Mutex<obs::Histogram>,
     recommend_lat: Mutex<obs::Histogram>,
 }
@@ -182,6 +199,7 @@ impl Metrics {
             shed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
             score_lat: Mutex::new(obs::Histogram::default()),
             recommend_lat: Mutex::new(obs::Histogram::default()),
         }
@@ -197,11 +215,47 @@ struct Shared {
     reloader: Option<Reloader>,
     shutdown: AtomicBool,
     serve_requests: AtomicU64,
+    /// `Some(reason)` while the server is degraded: the last reload failed
+    /// and the (stale but consistent) previous store is still serving.
+    /// Cleared by the next successful reload.
+    degraded: Mutex<Option<String>>,
 }
 
 impl Shared {
     fn current_store(&self) -> Arc<EmbeddingStore> {
         self.store.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn degraded_reason(&self) -> Option<String> {
+        self.degraded
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Enter degraded mode: record the reason for `/healthz`, journal a
+    /// `serve_degraded` record and tick the `serve.degraded` counter. Each
+    /// failed reload journals its own record — every one is an incident an
+    /// operator may need to line up with the failure cause.
+    fn enter_degraded(&self, reason: String) {
+        obs::record!("serve_degraded", reason = reason.as_str());
+        obs::counter_add("serve.degraded", 1);
+        obs::olog!(Summary, "serve: degraded: {reason}");
+        *self.degraded.lock().unwrap_or_else(|e| e.into_inner()) = Some(reason);
+    }
+
+    /// Leave degraded mode (no-op when healthy). The successful reload that
+    /// triggers this journals its own `serve_reload` record, which is the
+    /// recovery marker in the journal.
+    fn clear_degraded(&self) {
+        let was = self
+            .degraded
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(reason) = was {
+            obs::olog!(Summary, "serve: recovered from degraded state ({reason})");
+        }
     }
 
     fn stop(&self) {
@@ -266,6 +320,7 @@ pub fn start(
         reloader,
         shutdown: AtomicBool::new(false),
         serve_requests: AtomicU64::new(0),
+        degraded: Mutex::new(None),
         cfg,
     });
     let mut threads = Vec::new();
@@ -315,6 +370,15 @@ fn scorer_loop(sh: &Shared) {
             }
             continue;
         }
+        // The `serve.score` failpoint models a stalled/crashed scorer pass:
+        // the batch is dropped without replying, so every waiting worker
+        // sees its channel disconnect and answers 504 (any armed mode).
+        // Dropped queries were never cached, so client retries re-score
+        // them — same bits, by the determinism contract.
+        if obs::failpoint::check("serve.score").is_some() {
+            obs::counter_add("serve.score.dropped", batch.len() as u64);
+            continue;
+        }
         let store = sh.current_store();
         let queries: Vec<Query> = batch.iter().map(|j| j.query).collect();
         let scores = store.score_batch(&queries);
@@ -332,7 +396,7 @@ fn scorer_loop(sh: &Shared) {
 }
 
 fn handle_connection(sh: &Shared, stream: TcpStream) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_read_timeout(Some(sh.cfg.read_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
     loop {
@@ -414,7 +478,15 @@ fn dispatch(sh: &Shared, req: &Request) -> (u16, String, Vec<(&'static str, Stri
 
 fn healthz_body(sh: &Shared) -> String {
     let store = sh.current_store();
-    let mut b = String::from("{\"status\":\"ok\",\"model\":");
+    let mut b = String::from("{\"status\":");
+    match sh.degraded_reason() {
+        Some(reason) => {
+            b.push_str("\"degraded\",\"degraded_reason\":");
+            json::write_escaped(&mut b, &reason);
+        }
+        None => b.push_str("\"ok\""),
+    }
+    b.push_str(",\"model\":");
     json::write_escaped(&mut b, store.model());
     b.push_str(&format!(
         ",\"seed\":{},\"trained_epochs\":{},\"regions\":{},\"types\":{},\"tensor_bytes\":{}}}",
@@ -458,11 +530,13 @@ fn metrics_body(sh: &Shared) -> String {
     let mut b = String::from("{");
     b.push_str(&format!("\"uptime_secs\":{uptime:.3},"));
     b.push_str(&format!(
-        "\"requests\":{requests},\"qps\":{qps:.3},\"scored_queries\":{},\"shed\":{},\"errors\":{},\"reloads\":{},",
+        "\"requests\":{requests},\"qps\":{qps:.3},\"scored_queries\":{},\"shed\":{},\"errors\":{},\"reloads\":{},\"timeouts\":{},\"degraded\":{},",
         m.scored.load(Ordering::Relaxed),
         m.shed.load(Ordering::Relaxed),
         m.errors.load(Ordering::Relaxed),
         m.reloads.load(Ordering::Relaxed),
+        m.timeouts.load(Ordering::Relaxed),
+        if sh.degraded_reason().is_some() { 1 } else { 0 },
     ));
     b.push_str(&format!(
         "\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4}}},"
@@ -601,11 +675,20 @@ fn handle_score(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str, Str
         }
         drop(tx);
         for _ in 0..queued {
-            match rx.recv_timeout(SCORE_TIMEOUT) {
+            // Timeout: the scorer stalled past the deadline. Disconnected:
+            // the scorer dropped the batch without replying (every sender
+            // clone is gone). Both mean these queries were never answered —
+            // a retryable gateway timeout, not a client error.
+            match rx.recv_timeout(sh.cfg.score_timeout) {
                 Ok((slot, score)) => scores[slot] = Some(score),
                 Err(_) => {
-                    sh.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                    return (500, error_body("scorer timed out"), vec![]);
+                    sh.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                    obs::counter_add("serve.timeouts", 1);
+                    return (
+                        504,
+                        error_body("scorer timed out; retry shortly"),
+                        vec![("Retry-After", "1".to_string())],
+                    );
                 }
             }
         }
@@ -676,6 +759,12 @@ fn handle_recommend(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str,
 
 /// `POST /admin/reload`: rebuild the store from the configured source while
 /// the old store keeps serving, then swap atomically and clear the cache.
+///
+/// A failed rebuild never takes the server down: the old store stays live,
+/// the server enters **degraded mode** (`/healthz` reports `degraded` with
+/// the failure reason, a `serve_degraded` record is journaled), and the
+/// next successful reload recovers. The rebuild sits behind the
+/// `serve.reload` failpoint seam for chaos drills.
 fn handle_reload(sh: &Shared) -> (u16, String, Vec<(&'static str, String)>) {
     let Some(reloader) = sh.reloader.as_ref() else {
         return (
@@ -687,11 +776,17 @@ fn handle_reload(sh: &Shared) -> (u16, String, Vec<(&'static str, String)>) {
     let t0 = Instant::now();
     // The rebuild happens outside every lock: requests arriving meanwhile
     // are served (possibly stale) by the old store and cache.
-    let fresh = match reloader() {
+    let fresh = match obs::failpoint::check("serve.reload") {
+        Some(fault) => Err(fault.io_error("serve.reload").to_string()),
+        None => reloader(),
+    };
+    let fresh = match fresh {
         Ok(store) => store,
         Err(e) => {
             sh.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            return (500, error_body(&format!("reload failed: {e}")), vec![]);
+            let reason = format!("reload failed: {e}");
+            sh.enter_degraded(reason.clone());
+            return (500, error_body(&reason), vec![]);
         }
     };
     let epoch = fresh.trained_epochs();
@@ -701,6 +796,7 @@ fn handle_reload(sh: &Shared) -> (u16, String, Vec<(&'static str, String)>) {
     }
     // Old-model scores must not survive the swap.
     sh.cache.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    sh.clear_degraded();
     sh.metrics.reloads.fetch_add(1, Ordering::Relaxed);
     let dur_ns = t0.elapsed().as_nanos() as u64;
     obs::record!(

@@ -377,16 +377,24 @@ impl EmbeddingStore {
     }
 
     /// Write the image to `path` atomically (temp file + fsync + rename via
-    /// [`siterec_obs::atomic_write`]): a crash mid-write never leaves a torn
-    /// image. Returns the byte count written.
+    /// [`siterec_obs::atomic_write_fp`]): a crash mid-write never leaves a
+    /// torn image. The write sits behind the `emb.image.save` failpoint
+    /// seam with bounded deterministic retry, so transient I/O errors heal
+    /// in place. Returns the byte count written.
     pub fn write_image(&self, path: &Path) -> io::Result<usize> {
         let bytes = self.encode();
-        siterec_obs::atomic_write(path, &bytes)?;
+        siterec_obs::retry_io("write_image", siterec_obs::RetryCfg::from_env(), || {
+            siterec_obs::atomic_write_fp(path, &bytes, "emb.image.save")
+        })?;
         Ok(bytes.len())
     }
 
-    /// Read and decode an image written by [`Self::write_image`].
+    /// Read and decode an image written by [`Self::write_image`]. The read
+    /// passes the `emb.image.load` failpoint seam; injected short/corrupt
+    /// damage is caught by the per-section CRC checks in `decode`.
     pub fn read_image(path: &Path) -> Result<EmbeddingStore, StoreError> {
-        EmbeddingStore::decode(&std::fs::read(path)?)
+        let mut bytes = std::fs::read(path)?;
+        siterec_obs::read_fault("emb.image.load", &mut bytes)?;
+        EmbeddingStore::decode(&bytes)
     }
 }

@@ -1,0 +1,34 @@
+//! Drives the `chaos_soak` orchestrator binary at test scale: one seeded
+//! fault schedule (plus the always-on reload fault) over the full train →
+//! checkpoint → export → serve → reload lifecycle at two thread counts,
+//! asserting bit-identical scores versus the fault-free reference (see the
+//! binary's module docs for the full scenario). The binary panics on any
+//! violated assertion, so this test only checks the exit status and the
+//! final marker line; `ci.sh` runs the full ≥3-schedule sweep in release.
+
+use std::process::Command;
+
+#[test]
+fn faulted_lifecycle_serves_identical_scores() {
+    let dir = std::env::temp_dir().join(format!("siterec_chaos_soak_test_{}", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_chaos_soak"))
+        .args(["--seeds", "1", "--epochs", "2", "--threads", "1,2"])
+        .arg("--dir")
+        .arg(&dir)
+        .output()
+        .expect("run chaos_soak");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "chaos_soak failed\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+    );
+    assert!(
+        stdout.contains("chaos_soak: all assertions passed"),
+        "missing success marker\n--- stdout ---\n{stdout}"
+    );
+    assert!(
+        stdout.contains("degraded+recovered"),
+        "soak never exercised the degraded-mode reload dance\n--- stdout ---\n{stdout}"
+    );
+}

@@ -1,0 +1,201 @@
+//! In-process degraded-mode and scorer-timeout coverage: a failed
+//! `/admin/reload` keeps the old store serving and flips `/healthz` to
+//! `degraded` until the next successful reload recovers it, and a scorer
+//! that drops a batch (the `serve.score` failpoint) surfaces as a fast,
+//! retryable 504 — never a hung connection.
+//!
+//! Everything runs in one `#[test]` because the failpoint registry and the
+//! obs recorder are process-global; this integration-test binary owns its
+//! process, and a single test fn keeps the sequence race-free.
+
+use siterec_obs as obs;
+use siterec_serve::{start, EmbeddingStore, Recipe, Reloader, ServeConfig};
+use std::io::{Read, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One `Connection: close` exchange returning `(status, headers, body)`.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or((raw.clone(), String::new()));
+    (status, head, body)
+}
+
+fn score_bits(body: &str) -> u32 {
+    let line = body.lines().next().expect("one response line");
+    let v = obs::json::parse(line).expect("valid response JSON");
+    (v.get("score").and_then(|s| s.as_num()).expect("score") as f32).to_bits()
+}
+
+#[test]
+fn degraded_reload_and_scorer_timeout() {
+    obs::reset();
+    obs::set_enabled(true);
+    obs::failpoint::disarm();
+
+    // Satellite knob defaults: the magic numbers became config fields.
+    let defaults = ServeConfig::from_env();
+    assert_eq!(defaults.score_timeout, Duration::from_millis(30_000));
+    assert_eq!(defaults.read_timeout, Duration::from_millis(500));
+    std::env::set_var("SITEREC_SERVE_SCORE_TIMEOUT_MS", "1234");
+    std::env::set_var("SITEREC_SERVE_READ_TIMEOUT_MS", "77");
+    let tuned = ServeConfig::from_env();
+    assert_eq!(tuned.score_timeout, Duration::from_millis(1234));
+    assert_eq!(tuned.read_timeout, Duration::from_millis(77));
+    std::env::remove_var("SITEREC_SERVE_SCORE_TIMEOUT_MS");
+    std::env::remove_var("SITEREC_SERVE_READ_TIMEOUT_MS");
+
+    // An untrained model exports a perfectly serviceable store — no
+    // training needed to exercise the serving state machine.
+    let recipe: Recipe = "tiny:3".parse().unwrap();
+    let model = recipe.build_model(1);
+    let offline = model.predict_for(&[(0, 0), (1, 1)], None);
+    let store = EmbeddingStore::new(model.export_serving());
+
+    // Reload source: fails on the first call, then rebuilds the same store.
+    let reload_calls = Arc::new(AtomicUsize::new(0));
+    let reloader: Reloader = {
+        let calls = reload_calls.clone();
+        Box::new(move || {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err("synthetic reload failure".to_string())
+            } else {
+                let m = recipe.build_model(1);
+                Ok(EmbeddingStore::new(m.export_serving()))
+            }
+        })
+    };
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_cap: 64,
+        max_batch: 8,
+        cache_cap: 16,
+        max_requests: None,
+        score_timeout: Duration::from_secs(5),
+        read_timeout: Duration::from_millis(100),
+    };
+    let handle = start(store, cfg, Some(reloader)).expect("bind");
+    let addr = handle.addr().to_string();
+
+    // Healthy baseline.
+    let (st, _, health) = http(&addr, "GET", "/healthz", "");
+    assert_eq!(st, 200);
+    assert!(
+        health.contains("\"status\":\"ok\""),
+        "not healthy: {health}"
+    );
+    assert!(
+        !health.contains("degraded_reason"),
+        "healthy healthz leaks a reason"
+    );
+    let (st, _, body) = http(&addr, "POST", "/v1/score", "{\"region\":0,\"type\":0}\n");
+    assert_eq!(st, 200);
+    assert_eq!(score_bits(&body), offline[0].to_bits());
+
+    // Scorer drop → fast 504 with Retry-After, then the retry succeeds and
+    // reproduces the offline bits (the dropped query was never cached).
+    obs::failpoint::arm("serve.score=err@1").unwrap();
+    let (st, head, body) = http(&addr, "POST", "/v1/score", "{\"region\":1,\"type\":1}\n");
+    assert_eq!(st, 504, "dropped batch must answer 504: {body}");
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after"),
+        "504 must carry Retry-After: {head}"
+    );
+    let (st, _, body) = http(&addr, "POST", "/v1/score", "{\"region\":1,\"type\":1}\n");
+    assert_eq!(st, 200, "retry after 504 must succeed: {body}");
+    assert_eq!(score_bits(&body), offline[1].to_bits());
+    obs::failpoint::disarm();
+
+    // Failed reload → 500, degraded /healthz + /metrics, old store serving.
+    let (st, _, body) = http(&addr, "POST", "/admin/reload", "");
+    assert_eq!(st, 500, "first reload must fail: {body}");
+    let (_, _, health) = http(&addr, "GET", "/healthz", "");
+    assert!(
+        health.contains("\"status\":\"degraded\""),
+        "failed reload did not degrade: {health}"
+    );
+    assert!(
+        health.contains("synthetic reload failure"),
+        "degraded_reason must name the cause: {health}"
+    );
+    let (_, _, metrics) = http(&addr, "GET", "/metrics", "");
+    assert!(
+        metrics.contains("\"degraded\":1"),
+        "metrics miss degraded flag: {metrics}"
+    );
+    let (st, _, body) = http(&addr, "POST", "/v1/score", "{\"region\":0,\"type\":0}\n");
+    assert_eq!(st, 200, "degraded server must keep serving: {body}");
+    assert_eq!(score_bits(&body), offline[0].to_bits());
+
+    // Successful reload → recovered.
+    let (st, _, body) = http(&addr, "POST", "/admin/reload", "");
+    assert_eq!(st, 200, "second reload must succeed: {body}");
+    let (_, _, health) = http(&addr, "GET", "/healthz", "");
+    assert!(
+        health.contains("\"status\":\"ok\""),
+        "reload did not recover: {health}"
+    );
+    let (_, _, metrics) = http(&addr, "GET", "/metrics", "");
+    assert!(
+        metrics.contains("\"degraded\":0"),
+        "metrics still degraded: {metrics}"
+    );
+    let (st, _, body) = http(&addr, "POST", "/v1/score", "{\"region\":1,\"type\":1}\n");
+    assert_eq!(st, 200);
+    assert_eq!(
+        score_bits(&body),
+        offline[1].to_bits(),
+        "post-recovery bits diverged"
+    );
+
+    handle.shutdown();
+    handle.join();
+
+    // The journal tells the whole story, schema-valid: the fired failpoint,
+    // the degraded episode, the recovery reload, and the 504 request.
+    let text = obs::journal_to_string();
+    let stats = obs::validate_journal(&text).expect("journal validates");
+    assert_eq!(
+        stats.count("failpoint"),
+        1,
+        "one serve.score firing journaled"
+    );
+    assert_eq!(
+        stats.count("serve_degraded"),
+        1,
+        "degraded episode journaled"
+    );
+    assert_eq!(stats.count("serve_reload"), 1, "recovery reload journaled");
+    assert!(
+        text.lines()
+            .any(|l| l.contains("\"type\":\"serve_request\"") && l.contains("\"status\":504")),
+        "504 request missing from journal"
+    );
+    assert_eq!(reload_calls.load(Ordering::SeqCst), 2);
+
+    obs::reset();
+    obs::set_enabled(false);
+}

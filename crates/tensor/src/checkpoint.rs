@@ -40,11 +40,13 @@
 //!
 //! # Durability
 //!
-//! [`save`] writes through [`siterec_obs::atomic_write`] (same-directory
-//! temp file + fsync + rename), keeps the newest [`CheckpointPolicy::
-//! generations`] files and journals a `checkpoint_write` record.
-//! [`load_latest`] tries candidates newest-first; a truncated or bit-flipped
-//! file fails its magic/CRC/length checks, is journaled as
+//! [`save`] writes through [`siterec_obs::atomic_write_fp`] (same-directory
+//! temp file + fsync + rename) behind the `ckpt.write.fsync` failpoint seam
+//! with bounded deterministic retry ([`siterec_obs::retry_io`]), keeps the
+//! newest [`CheckpointPolicy::generations`] files and journals a
+//! `checkpoint_write` record. [`load_latest`] tries candidates newest-first
+//! (reads pass the `ckpt.read.section` failpoint seam); a truncated or
+//! bit-flipped file fails its magic/CRC/length checks, is journaled as
 //! `checkpoint_corrupt`, and the loader falls back to the previous
 //! generation instead of aborting. Only when *no* generation decodes does it
 //! return `None` (start from scratch) — it never panics on corrupt input.
@@ -380,7 +382,13 @@ pub fn save(policy: &CheckpointPolicy, state: &TrainState) -> io::Result<PathBuf
         }
     }
 
-    obs::atomic_write(&path, &bytes)?;
+    // The durable write sits behind the `ckpt.write.fsync` failpoint seam
+    // with bounded deterministic retry: transient errors (EIO/ENOSPC or an
+    // injected `err`/`short` fault) are retried on the backoff schedule;
+    // only a persistent failure surfaces to the caller.
+    obs::retry_io("checkpoint_write", obs::RetryCfg::from_env(), || {
+        obs::atomic_write_fp(&path, &bytes, "ckpt.write.fsync")
+    })?;
     obs::record!(
         "checkpoint_write",
         model = state.model.as_str(),
@@ -430,7 +438,11 @@ pub fn load_latest(dir: &Path) -> io::Result<Option<TrainState>> {
 /// the precise failure rather than a silent skip. Every corruption mode
 /// [`decode_state`] detects surfaces as [`CheckpointError::Corrupt`].
 pub fn load_file(path: &Path) -> Result<TrainState, CheckpointError> {
-    let bytes = std::fs::read(path)?;
+    let mut bytes = std::fs::read(path)?;
+    // The `ckpt.read.section` failpoint models short/corrupt/failed reads;
+    // `short` and `corrupt` damage lands in `decode_state`'s CRC checks and
+    // from there in `load_latest`'s generation fallback.
+    obs::read_fault("ckpt.read.section", &mut bytes)?;
     decode_state(&bytes)
 }
 

@@ -18,8 +18,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use proptest::prelude::*;
+use siterec_obs as obs;
 use siterec_tensor::checkpoint::{
-    decode_state, encode_state, load_latest, save, CheckpointError, CheckpointPolicy, TrainState,
+    decode_state, encode_state, load_file, load_latest, save, CheckpointError, CheckpointPolicy,
+    TrainState,
 };
 use siterec_tensor::optim::{Adam, Optimizer};
 use siterec_tensor::resilience::GuardConfig;
@@ -174,4 +176,71 @@ proptest! {
         assert_bit_identical(&older, &back);
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// When *every* on-disk generation is damaged — each in a different way —
+/// the fallback chain is exhausted cleanly: `load_latest` returns
+/// `Ok(None)` (caller restarts from scratch), each generation is journaled
+/// as its own `checkpoint_corrupt` record, each `load_file` reports a
+/// structured `Corrupt` error, and nothing panics.
+///
+/// The obs journal is process-global and the concurrently-running property
+/// tests above also save checkpoints once recording is enabled, so the
+/// record count is filtered down to this test's unique directory.
+#[test]
+fn all_generations_corrupt_exhausts_fallback_cleanly() {
+    let pool: Vec<u32> = (0..48).map(|i| 0x3f80_0000 + i * 0x1000).collect();
+    let dir = tmpdir();
+    let policy = CheckpointPolicy::new(&dir).generations(3);
+    for e in 1..=3 {
+        save(
+            &policy,
+            &build_state(&[(2, 3)], &pool, 1, e, 13, vec![e as u8]),
+        )
+        .unwrap();
+    }
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|f| f.unwrap().path())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 3, "three generations on disk");
+
+    // Damage every generation, each differently: torn write, single
+    // bit-flip, total garbage.
+    let torn = std::fs::read(&files[0]).unwrap();
+    std::fs::write(&files[0], &torn[..torn.len() / 2]).unwrap();
+    let mut flipped = std::fs::read(&files[1]).unwrap();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x10;
+    std::fs::write(&files[1], &flipped).unwrap();
+    std::fs::write(&files[2], b"not a checkpoint at all").unwrap();
+
+    obs::set_enabled(true);
+    assert!(
+        load_latest(&dir).unwrap().is_none(),
+        "exhausted fallback must report no checkpoint, not a damaged one"
+    );
+    for path in &files {
+        match load_file(path) {
+            Err(CheckpointError::Corrupt(reason)) => {
+                assert!(!reason.is_empty(), "Corrupt must carry a reason")
+            }
+            Err(e) => panic!("expected Corrupt for {}, got {e:?}", path.display()),
+            Ok(_) => panic!("damaged checkpoint {} decoded successfully", path.display()),
+        }
+    }
+
+    let journal = obs::journal_to_string();
+    obs::validate_journal(&journal).expect("journal stays schema-valid");
+    let dir_str = dir.display().to_string();
+    let mine = journal
+        .lines()
+        .filter(|l| l.contains("\"type\":\"checkpoint_corrupt\"") && l.contains(&dir_str))
+        .count();
+    assert_eq!(
+        mine, 3,
+        "one checkpoint_corrupt record per damaged generation"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
