@@ -54,9 +54,11 @@ run cargo run -q -p siterec-bench --bin validate_journal -- "$PWD/target/ci_kern
 # the serve_request / serve_reload records).
 echo "ci: serving-layer smoke (train -> run -> query -> journal)"
 rm -rf target/ci_serve && mkdir -p target/ci_serve
-run cargo run -q --release -p siterec-serve -- train \
+SITEREC_JOURNAL="$PWD/target/ci_serve/train_journal.jsonl" \
+    cargo run -q --release -p siterec-serve -- train \
     --recipe tiny:7 --ckpt target/ci_serve/ckpt --epochs 2
 SITEREC_JOURNAL="$PWD/target/ci_serve/journal.jsonl" \
+    SITEREC_TRACE_SAMPLE=1 \
     SITEREC_SERVE_WORKERS=2 SITEREC_SERVE_QUEUE=256 \
     SITEREC_SERVE_BATCH=16 SITEREC_SERVE_CACHE=512 \
     SITEREC_SERVE_SCORE_TIMEOUT_MS=10000 SITEREC_SERVE_READ_TIMEOUT_MS=500 \
@@ -76,6 +78,24 @@ wait "$CI_SERVE_PID"
 run test -s target/ci_serve/emb.sremb
 run cargo run -q -p siterec-bench --bin validate_journal -- \
     "$PWD/target/ci_serve/journal.jsonl"
+# Ops-CLI smoke over the journals the runs above just wrote: summary/query
+# must find the sampled serve_trace records (SITEREC_TRACE_SAMPLE=1 samples
+# every request), the Chrome-trace export of the training journal must be a
+# non-empty trace with one span per epoch, flame must emit collapsed stacks,
+# and trend must parse every checked-in BENCH_*.json artifact (non-strict:
+# the artifacts record real host numbers, not gates).
+echo "ci: siterec-ops smoke (summary / query / trace / flame / trend)"
+run cargo run -q -p siterec-ops -- summary "$PWD/target/ci_serve/journal.jsonl" >/dev/null
+run sh -c 'cargo run -q -p siterec-ops -- query "$PWD/target/ci_serve/journal.jsonl" \
+    --type serve_trace | grep -q request_id'
+run cargo run -q -p siterec-ops -- trace "$PWD/target/ci_serve/train_journal.jsonl" \
+    --out target/ci_serve/train_trace.json
+run test -s target/ci_serve/train_trace.json
+run grep -q '"traceEvents"' target/ci_serve/train_trace.json
+run grep -q '"name":"train_epoch"' target/ci_serve/train_trace.json
+run sh -c 'cargo run -q -p siterec-ops -- flame "$PWD/target/ci_serve/train_journal.jsonl" \
+    | grep -q train'
+run sh -c 'cargo run -q -p siterec-ops -- trend BENCH_*.json >/dev/null'
 # Serving chaos smoke: SIGKILL the server mid-traffic, restart from the same
 # checkpoint dir, and require every post-resume score to be bit-identical to
 # offline inference (plus a schema-valid journal from the surviving child).

@@ -138,6 +138,27 @@ pub fn write_artifact(file_name: &str, body: &str) -> std::io::Result<std::path:
     // Atomic temp-file + fsync + rename (same helper the checkpoint writer
     // and journal use): a crash mid-write never leaves a torn artifact.
     siterec_obs::atomic_write(&path, json.as_bytes())?;
+    // `SITEREC_BENCH_HISTORY=dir` keeps a per-run copy alongside the
+    // in-repo artifact so `siterec-ops trend` can compare runs over time.
+    // The copy is stamped with the git describe (or a content-derived tag)
+    // rather than a wall-clock timestamp: re-runs at the same commit
+    // overwrite their own slot instead of growing unboundedly.
+    if let Ok(dir) = std::env::var("SITEREC_BENCH_HISTORY") {
+        if !dir.is_empty() {
+            let dir = std::path::PathBuf::from(dir);
+            std::fs::create_dir_all(&dir)?;
+            let stem = file_name.trim_end_matches(".json");
+            let tag = meta
+                .git_describe
+                .clone()
+                .unwrap_or_else(|| format!("len{}", json.len()));
+            let tag: String = tag
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                .collect();
+            siterec_obs::atomic_write(&dir.join(format!("{stem}__{tag}.json")), json.as_bytes())?;
+        }
+    }
     if siterec_obs::enabled() {
         siterec_obs::record!(
             "bench_artifact",

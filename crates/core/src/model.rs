@@ -355,6 +355,12 @@ impl O2SiteRec {
             }
         }
         while epoch < self.cfg.epochs {
+            // One span per epoch, with forward/backward/step child spans:
+            // the Chrome-trace exporter (`siterec-ops trace`) turns these
+            // into the per-epoch timeline. Guards drop (and record) on the
+            // recovery `continue`s too, so retried epochs get their own
+            // spans.
+            let _epoch_span = obs::span!("train_epoch", epoch = epoch);
             let base = epoch_graph_seed(self.cfg.seed, epoch);
             let seed = retry_seed(base, guard.attempt(epoch));
             let mut g = if self.cfg.arena {
@@ -363,8 +369,10 @@ impl O2SiteRec {
                 Graph::with_seed(seed)
             };
             g.training = true;
+            let fwd_span = obs::span!("epoch.forward", epoch = epoch);
             let (binds, loss, o2, o1) = self.forward_losses(&mut g);
             let loss_v = g.value(loss).item();
+            drop(fwd_span);
             if let Some(fault) = guard.pre_step_fault(&g, loss_v) {
                 match guard.recover(epoch, fault, &mut self.ps, &mut opt) {
                     Ok(resume) => {
@@ -389,9 +397,11 @@ impl O2SiteRec {
                 o1: g.value(o1).item(),
                 recoveries: guard.events().len(),
             };
+            let bwd_span = obs::span!("epoch.backward", epoch = epoch);
             g.backward(loss);
             self.ps.zero_grads();
             self.ps.harvest(&g, &binds);
+            drop(bwd_span);
             if let Some(fault) = guard.grad_fault(&self.ps) {
                 match guard.recover(epoch, fault, &mut self.ps, &mut opt) {
                     Ok(resume) => {
@@ -409,10 +419,12 @@ impl O2SiteRec {
                     }
                 }
             }
+            let step_span = obs::span!("epoch.step", epoch = epoch);
             if self.cfg.grad_clip > 0.0 {
                 self.ps.clip_grad_norm(self.cfg.grad_clip);
             }
             opt.step(&mut self.ps);
+            drop(step_span);
             guard.commit(epoch, loss_v, &self.ps, &opt);
             obs::record!(
                 "train_epoch",

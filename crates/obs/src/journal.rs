@@ -28,6 +28,7 @@
 //! | `serve_reload` | `source` (str), `epoch` (num), `dur_ns` (num)              |
 //! | `failpoint`   | `name` (str), `mode` (str), `hit` (num)                      |
 //! | `serve_degraded` | `reason` (str)                                            |
+//! | `serve_trace` | `request_id` (str), `endpoint` (str), `status`, `parse_ns`, `queue_ns`, `batch_ns`, `score_ns`, `serialize_ns`, `total_ns` (num) |
 //!
 //! Unknown types fail validation: the schema is closed so that a typo in an
 //! emitting call site is caught by CI rather than silently ignored.
@@ -293,6 +294,20 @@ const SCHEMA: &[(&str, &[(&str, Kind)])] = &[
         &[("name", Kind::Str), ("mode", Kind::Str), ("hit", Kind::Num)],
     ),
     ("serve_degraded", &[("reason", Kind::Str)]),
+    (
+        "serve_trace",
+        &[
+            ("request_id", Kind::Str),
+            ("endpoint", Kind::Str),
+            ("status", Kind::Num),
+            ("parse_ns", Kind::Num),
+            ("queue_ns", Kind::Num),
+            ("batch_ns", Kind::Num),
+            ("score_ns", Kind::Num),
+            ("serialize_ns", Kind::Num),
+            ("total_ns", Kind::Num),
+        ],
+    ),
 ];
 
 /// Validate JSONL journal text against the schema in the module docs.

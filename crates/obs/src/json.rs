@@ -49,6 +49,47 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Render this value back to compact JSON text. Together with [`parse`]
+    /// this round-trips any JSON document (object key order and duplicate
+    /// keys are preserved; non-finite numbers, which [`parse`] never
+    /// produces, render as strings like [`write_f64`]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_f64(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Append `s` to `out` as a JSON string literal (with escaping).
@@ -327,6 +368,29 @@ mod tests {
         let mut line = String::new();
         write_escaped(&mut line, raw);
         assert_eq!(parse(&line).unwrap(), Json::Str(raw.to_string()));
+    }
+
+    #[test]
+    fn render_roundtrips_nested_escaped_unicode() {
+        // parse → render → parse must be a fixed point for any document the
+        // journal (or the ops tooling) can see: nested structure, escaped
+        // strings, unicode (including astral-plane chars), duplicate keys.
+        for doc in [
+            r#"{"a":[1,{"b":"c"},[null,true,false]],"d":{"e":{"f":[]}}}"#,
+            "{\"msg\":\"quote \\\" slash \\\\ nl \\n tab \\t ctrl \\u0001\"}",
+            r#"{"city":"北京","emoji":"🦀","accents":"éàü"}"#,
+            r#"{"k":1,"k":2}"#,
+            r#"[-1.5e2,0.25,1e10]"#,
+        ] {
+            let once = parse(doc).unwrap();
+            let rendered = once.render();
+            let twice = parse(&rendered).unwrap();
+            assert_eq!(once, twice, "render not a fixed point for {doc}");
+            assert_eq!(rendered, twice.render(), "unstable rendering for {doc}");
+        }
+        // Compactness + key order preservation on a concrete case.
+        let v = parse(r#"{ "b" : 1 , "a" : [ "x" ] }"#).unwrap();
+        assert_eq!(v.render(), r#"{"b":1,"a":["x"]}"#);
     }
 
     #[test]

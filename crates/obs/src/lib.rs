@@ -18,7 +18,9 @@
 //! - `SITEREC_FAILPOINTS=name=mode@N,…` — arm deterministic fault
 //!   injection at named I/O seams (see [`failpoint`]),
 //! - `SITEREC_IO_RETRIES` / `SITEREC_IO_BACKOFF_MS` — attempt budget and
-//!   backoff base for [`retry_io`] around durable writes.
+//!   backoff base for [`retry_io`] around durable writes,
+//! - `SITEREC_TRACE_SAMPLE` / `SITEREC_TRACE_SEED` — request-trace sampling
+//!   period and id/sampling seed for the serving path (see [`trace`]).
 //!
 //! Tests and harnesses can override programmatically via [`set_enabled`],
 //! [`set_profiling`] and [`set_log_level`].
@@ -56,6 +58,7 @@ mod journal;
 pub mod json;
 mod recorder;
 mod retry;
+pub mod trace;
 
 pub use fsio::{atomic_write, atomic_write_fp, read_fault};
 pub use journal::{journal_to_string, validate_journal, write_journal, JournalStats};

@@ -18,7 +18,7 @@ use crate::json;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -88,6 +88,25 @@ impl Config {
 fn config() -> &'static Config {
     static CONFIG: OnceLock<Config> = OnceLock::new();
     CONFIG.get_or_init(Config::from_env)
+}
+
+/// The process-wide timestamp origin: every span's `start_ns` is an offset
+/// from this instant, so spans from different threads share one timeline
+/// (which is what lets the Chrome-trace exporter lay them out side by side).
+pub(crate) fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// A small, stable per-thread integer identifying the recording thread in
+/// span records (`tid`). Assigned on first use in thread-creation order;
+/// purely observational (never feeds back into scheduling or computation).
+pub(crate) fn thread_ordinal() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
 }
 
 /// Is the recorder accumulating records? This is the one check every
@@ -480,6 +499,9 @@ struct Frame {
     path: String,
     fields: Vec<(&'static str, Value)>,
     start: Instant,
+    /// Offset from [`process_epoch`], stamped at entry so the Chrome-trace
+    /// exporter can place the span on the shared process timeline.
+    start_ns: u64,
 }
 
 #[derive(Default)]
@@ -504,6 +526,7 @@ impl SpanGuard {
     /// Open a span. Prefer the [`crate::span!`] macro, which skips all
     /// argument evaluation when the recorder is disabled.
     pub fn enter(name: &'static str, fields: Vec<(&'static str, Value)>) -> SpanGuard {
+        let epoch = process_epoch();
         TLS.with(|t| {
             let mut t = t.borrow_mut();
             let path = match t.stack.last() {
@@ -515,6 +538,7 @@ impl SpanGuard {
                 path,
                 fields,
                 start: Instant::now(),
+                start_ns: epoch.elapsed().as_nanos() as u64,
             });
         });
         SpanGuard { active: true }
@@ -535,10 +559,12 @@ impl Drop for SpanGuard {
             let mut t = t.borrow_mut();
             let Some(frame) = t.stack.pop() else { return };
             let dur_ns = frame.start.elapsed().as_nanos() as u64;
-            let mut fields: Vec<(&'static str, Value)> = Vec::with_capacity(frame.fields.len() + 3);
+            let mut fields: Vec<(&'static str, Value)> = Vec::with_capacity(frame.fields.len() + 5);
             fields.push(("name", Value::Str(frame.name.to_string())));
             fields.push(("path", Value::Str(frame.path)));
             fields.extend(frame.fields);
+            fields.push(("start_ns", Value::UInt(frame.start_ns)));
+            fields.push(("tid", Value::UInt(thread_ordinal())));
             fields.push(("dur_ns", Value::UInt(dur_ns)));
             t.buf.push(Record {
                 kind: "span",

@@ -276,6 +276,48 @@ fn validator_rejects_schema_violations() {
 }
 
 #[test]
+fn validator_checks_serve_trace_fields() {
+    let g = lock();
+    // A complete record (extra fields allowed) validates.
+    let good = "{\"type\":\"serve_trace\",\"request_id\":\"sr-00ab\",\"endpoint\":\"/v1/score\",\
+                \"status\":200,\"parse_ns\":10,\"queue_ns\":20,\"batch_ns\":5,\"score_ns\":30,\
+                \"serialize_ns\":5,\"total_ns\":90,\"extra\":\"ok\"}";
+    let stats = obs::validate_journal(good).expect("complete serve_trace validates");
+    assert_eq!(stats.count("serve_trace"), 1);
+    // Every phase field is required — dropping any one is a schema error.
+    for missing in [
+        "request_id",
+        "endpoint",
+        "status",
+        "parse_ns",
+        "queue_ns",
+        "batch_ns",
+        "score_ns",
+        "serialize_ns",
+        "total_ns",
+    ] {
+        let v = obs::json::parse(good).unwrap();
+        let obs::json::Json::Obj(fields) = v else {
+            unreachable!()
+        };
+        let pruned =
+            obs::json::Json::Obj(fields.into_iter().filter(|(k, _)| k != missing).collect());
+        let err = obs::validate_journal(&pruned.render()).unwrap_err();
+        assert!(
+            err.contains("missing required field"),
+            "dropping {missing} must fail: {err}"
+        );
+    }
+    // Wrong kinds: a numeric request_id and a string phase are rejected.
+    let err = obs::validate_journal(&good.replace("\"sr-00ab\"", "7")).unwrap_err();
+    assert!(err.contains("must be a string"), "{err}");
+    let err =
+        obs::validate_journal(&good.replace("\"score_ns\":30", "\"score_ns\":\"30\"")).unwrap_err();
+    assert!(err.contains("must be a number"), "{err}");
+    unlock(g);
+}
+
+#[test]
 fn failpoint_firing_is_deterministic_and_disarm_clears() {
     let g = lock();
     // `@2x2` fires on hits 2 and 3 exactly — every process replays the same

@@ -1,0 +1,498 @@
+//! Journal and benchmark analytics behind the `siterec-ops` CLI.
+//!
+//! Every function here is a pure text-in/text-out transformation over
+//! artifacts the rest of the workspace already produces — JSONL run-journals
+//! (validated against the `siterec_obs::validate_journal` schema) and the
+//! `BENCH_*.json` benchmark artifacts — so the library is trivially testable
+//! and the binary in `main.rs` is a thin argument parser around it.
+//!
+//! * [`summarize`] — per-type record counts, counters, span totals and the
+//!   `serve_trace` phase breakdown of one journal.
+//! * [`query_records`] — filter journal lines by record type and field
+//!   values (the `--type` / `--where` flags).
+//! * [`diff_journals`] — compare two run journals: record-count and counter
+//!   deltas plus per-span total-time ratios.
+//! * [`flame`] — collapsed-stack flame-graph lines (`a;b;c <self_ns>`) from
+//!   the journal's hierarchical span records.
+//! * [`trend`] — benchmark speedups across a series of `BENCH_*.json`
+//!   files, flagging failed gates and speedup drops as regressions.
+//!
+//! Chrome-trace export lives in `siterec_obs::trace` (the span schema is
+//! owned there); the CLI's `trace` subcommand calls it directly.
+
+#![warn(missing_docs)]
+
+use siterec_obs::json::{self, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parse one journal into `(line, parsed)` pairs, failing on the first
+/// malformed line. Validation runs first so every downstream consumer can
+/// rely on schema-complete records.
+fn parse_journal(text: &str) -> Result<Vec<(&str, Json)>, String> {
+    siterec_obs::validate_journal(text).map_err(|e| format!("invalid journal: {e}"))?;
+    text.lines()
+        .map(|line| Ok((line, json::parse(line)?)))
+        .collect()
+}
+
+fn record_type(v: &Json) -> &str {
+    v.get("type").and_then(Json::as_str).unwrap_or("")
+}
+
+fn num(v: &Json, key: &str) -> f64 {
+    v.get(key).and_then(Json::as_num).unwrap_or(0.0)
+}
+
+/// Human-readable summary of one journal: line counts per record type,
+/// counter values, per-span-name totals, and — when `serve_trace` records
+/// are present — the mean phase decomposition of sampled serving requests.
+pub fn summarize(text: &str) -> Result<String, String> {
+    let records = parse_journal(text)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "journal: {} lines", records.len());
+
+    let mut by_type: BTreeMap<&str, usize> = BTreeMap::new();
+    for (_, v) in &records {
+        *by_type.entry(record_type(v)).or_insert(0) += 1;
+    }
+    let _ = writeln!(out, "\nrecords:");
+    for (kind, n) in &by_type {
+        let _ = writeln!(out, "  {kind:<20} {n}");
+    }
+
+    let counters: Vec<_> = records
+        .iter()
+        .filter(|(_, v)| record_type(v) == "counter")
+        .collect();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for (_, v) in counters {
+            let name = v.get("name").and_then(Json::as_str).unwrap_or("?");
+            let _ = writeln!(out, "  {name:<28} {}", num(v, "value"));
+        }
+    }
+
+    let spans = span_totals(&records);
+    if !spans.is_empty() {
+        let _ = writeln!(out, "\nspans (total time by name):");
+        let mut ordered: Vec<_> = spans.iter().collect();
+        ordered.sort_by(|a, b| b.1 .1.total_cmp(&a.1 .1));
+        for (name, (count, total_ns)) in ordered {
+            let _ = writeln!(
+                out,
+                "  {name:<28} {count:>6} calls  {:>12.3} ms",
+                total_ns / 1e6
+            );
+        }
+    }
+
+    let traces: Vec<_> = records
+        .iter()
+        .filter(|(_, v)| record_type(v) == "serve_trace")
+        .collect();
+    if !traces.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nserve_trace: {} sampled requests, mean phases:",
+            traces.len()
+        );
+        let n = traces.len() as f64;
+        for phase in [
+            "parse_ns",
+            "queue_ns",
+            "batch_ns",
+            "score_ns",
+            "serialize_ns",
+            "total_ns",
+        ] {
+            let sum: f64 = traces.iter().map(|(_, v)| num(v, phase)).sum();
+            let _ = writeln!(out, "  {phase:<14} {:>12.3} us", sum / n / 1e3);
+        }
+    }
+    Ok(out)
+}
+
+/// `(count, total dur_ns)` per span name.
+fn span_totals(records: &[(&str, Json)]) -> BTreeMap<String, (u64, f64)> {
+    let mut spans: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    for (_, v) in records {
+        if record_type(v) == "span" {
+            let name = v.get("name").and_then(Json::as_str).unwrap_or("?");
+            let e = spans.entry(name.to_string()).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += num(v, "dur_ns");
+        }
+    }
+    spans
+}
+
+/// One `--where key=value` condition: a record matches when its `key` field
+/// renders to `value` (strings match their unquoted payload, numbers their
+/// JSON rendering).
+#[derive(Debug, Clone)]
+pub struct Where {
+    /// Field name to match.
+    pub key: String,
+    /// Required value, as typed on the command line.
+    pub value: String,
+}
+
+impl Where {
+    /// Parse a `key=value` argument.
+    pub fn parse(arg: &str) -> Result<Where, String> {
+        match arg.split_once('=') {
+            Some((k, v)) if !k.is_empty() => Ok(Where {
+                key: k.to_string(),
+                value: v.to_string(),
+            }),
+            _ => Err(format!("bad --where {arg:?} (expected key=value)")),
+        }
+    }
+
+    fn matches(&self, record: &Json) -> bool {
+        match record.get(&self.key) {
+            Some(Json::Str(s)) => s == &self.value,
+            Some(v) => v.render() == self.value,
+            None => false,
+        }
+    }
+}
+
+/// Select journal lines by record type and field conditions, returning the
+/// matching lines verbatim (they are already one JSON object per line).
+pub fn query_records(
+    text: &str,
+    kind: Option<&str>,
+    wheres: &[Where],
+) -> Result<Vec<String>, String> {
+    let records = parse_journal(text)?;
+    Ok(records
+        .into_iter()
+        .filter(|(_, v)| kind.is_none_or(|k| record_type(v) == k))
+        .filter(|(_, v)| wheres.iter().all(|w| w.matches(v)))
+        .map(|(line, _)| line.to_string())
+        .collect())
+}
+
+fn fmt_delta(a: f64, b: f64) -> String {
+    let d = b - a;
+    if a != 0.0 {
+        format!("{a} -> {b} ({:+.1}%)", d / a * 100.0)
+    } else {
+        format!("{a} -> {b}")
+    }
+}
+
+/// Compare two run journals: per-type record-count deltas, counter deltas,
+/// and total-span-time changes by name. `a` is the baseline.
+pub fn diff_journals(a: &str, b: &str) -> Result<String, String> {
+    let ra = parse_journal(a)?;
+    let rb = parse_journal(b)?;
+    let mut out = String::new();
+
+    let counts = |recs: &[(&str, Json)]| -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        for (_, v) in recs {
+            *m.entry(record_type(v).to_string()).or_insert(0.0) += 1.0;
+        }
+        m
+    };
+    let counters = |recs: &[(&str, Json)]| -> BTreeMap<String, f64> {
+        recs.iter()
+            .filter(|(_, v)| record_type(v) == "counter")
+            .map(|(_, v)| {
+                (
+                    v.get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    num(v, "value"),
+                )
+            })
+            .collect()
+    };
+
+    let section =
+        |out: &mut String, title: &str, ma: &BTreeMap<String, f64>, mb: &BTreeMap<String, f64>| {
+            let keys: Vec<&String> = ma.keys().chain(mb.keys()).collect();
+            let mut keys: Vec<&String> = keys;
+            keys.sort();
+            keys.dedup();
+            let _ = writeln!(out, "{title}:");
+            for k in keys {
+                let va = ma.get(k).copied().unwrap_or(0.0);
+                let vb = mb.get(k).copied().unwrap_or(0.0);
+                if va != vb {
+                    let _ = writeln!(out, "  {k:<28} {}", fmt_delta(va, vb));
+                }
+            }
+        };
+    section(&mut out, "record counts", &counts(&ra), &counts(&rb));
+    section(&mut out, "\ncounters", &counters(&ra), &counters(&rb));
+
+    let sa = span_totals(&ra);
+    let sb = span_totals(&rb);
+    let mut keys: Vec<&String> = sa.keys().chain(sb.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    let _ = writeln!(out, "\nspan totals (ms):");
+    for k in keys {
+        let va = sa.get(k).map_or(0.0, |(_, t)| *t) / 1e6;
+        let vb = sb.get(k).map_or(0.0, |(_, t)| *t) / 1e6;
+        if va != vb {
+            let _ = writeln!(out, "  {k:<28} {:.3} -> {:.3}", va, vb);
+        }
+    }
+    Ok(out)
+}
+
+/// Collapsed-stack flame-graph lines from a journal's span records: each
+/// hierarchical span `path` (`train/train_epoch/epoch.forward`) becomes one
+/// `train;train_epoch;epoch.forward <self_ns>` line, where self time is the
+/// path's total duration minus the total duration of its direct children
+/// (clamped at zero against timer skew). Feed the output straight to any
+/// `flamegraph.pl`-compatible renderer.
+pub fn flame(text: &str) -> Result<String, String> {
+    let records = parse_journal(text)?;
+    let mut total: BTreeMap<String, f64> = BTreeMap::new();
+    for (_, v) in &records {
+        if record_type(v) == "span" {
+            if let Some(path) = v.get("path").and_then(Json::as_str) {
+                *total.entry(path.to_string()).or_insert(0.0) += num(v, "dur_ns");
+            }
+        }
+    }
+    if total.is_empty() {
+        return Err("journal contains no span records".to_string());
+    }
+    let mut child_time: BTreeMap<&str, f64> = BTreeMap::new();
+    for (path, ns) in &total {
+        if let Some((parent, _)) = path.rsplit_once('/') {
+            *child_time.entry(parent).or_insert(0.0) += ns;
+        }
+    }
+    let mut out = String::new();
+    for (path, ns) in &total {
+        let self_ns = (ns - child_time.get(path.as_str()).copied().unwrap_or(0.0)).max(0.0);
+        let _ = writeln!(out, "{} {}", path.replace('/', ";"), self_ns as u64);
+    }
+    Ok(out)
+}
+
+/// One benchmark metric extracted from a `BENCH_*.json` artifact.
+#[derive(Debug, Clone)]
+pub struct BenchMetric {
+    /// Dotted path + `name` fields identifying the metric inside the file.
+    pub label: String,
+    /// The speedup value (`1.0` = parity with the baseline).
+    pub speedup: f64,
+}
+
+/// Walk one artifact for every `"speedup"` number and `"passed"` gate flag.
+/// Array-valued speedups (the thread-sweep artifacts) report their last
+/// element — the highest thread count, which is the configuration trend
+/// watching cares about.
+fn bench_metrics(root: &Json, prefix: &str, out: &mut Vec<BenchMetric>, failed: &mut Vec<String>) {
+    let label_of = |v: &Json, prefix: &str, key: &str| -> String {
+        let name = v.get("name").and_then(Json::as_str);
+        match (prefix.is_empty(), name) {
+            (_, Some(n)) => format!("{prefix}{n}"),
+            (true, None) => key.to_string(),
+            (false, None) => prefix.trim_end_matches('.').to_string(),
+        }
+    };
+    if let Json::Obj(fields) = root {
+        for (key, v) in fields {
+            match (key.as_str(), v) {
+                ("speedup", Json::Num(n)) => out.push(BenchMetric {
+                    label: label_of(root, prefix, key),
+                    speedup: *n,
+                }),
+                ("speedup", Json::Arr(items)) => {
+                    if let Some(n) = items.last().and_then(Json::as_num) {
+                        out.push(BenchMetric {
+                            label: label_of(root, prefix, key),
+                            speedup: n,
+                        });
+                    }
+                }
+                ("passed", Json::Bool(false)) => {
+                    failed.push(label_of(root, prefix, key));
+                }
+                (_, Json::Obj(_)) => bench_metrics(v, &format!("{prefix}{key}."), out, failed),
+                (_, Json::Arr(items)) => {
+                    for item in items {
+                        bench_metrics(item, &format!("{prefix}{key}."), out, failed);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The rendered trend report plus its regression count (for the exit code).
+#[derive(Debug, Clone)]
+pub struct TrendReport {
+    /// Human-readable per-file metric listing and regression notes.
+    pub report: String,
+    /// Failed gates plus cross-file speedup drops beyond the threshold.
+    pub regressions: usize,
+}
+
+/// Fractional speedup drop between the first and last observation of a
+/// metric that counts as a regression (10%: below typical run-to-run noise
+/// on shared hardware, above real losses worth investigating).
+pub const TREND_DROP_THRESHOLD: f64 = 0.10;
+
+/// Analyze a series of benchmark artifacts, in the order given (oldest
+/// first). Each file contributes its `speedup` metrics and `passed` gate
+/// flags; a metric seen in several files is trended first→last and flagged
+/// when it drops more than [`TREND_DROP_THRESHOLD`]. Failed gates always
+/// count as regressions.
+pub fn trend(files: &[(String, String)]) -> Result<TrendReport, String> {
+    let mut report = String::new();
+    let mut regressions = 0usize;
+    // label -> (file, speedup) observations in file order.
+    let mut series: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+    for (name, content) in files {
+        let parsed = json::parse(content).map_err(|e| format!("{name}: invalid JSON: {e}"))?;
+        let git = parsed
+            .get("host")
+            .and_then(|h| h.get("git_describe"))
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        let mut metrics = Vec::new();
+        let mut failed = Vec::new();
+        bench_metrics(&parsed, "", &mut metrics, &mut failed);
+        let _ = writeln!(report, "{name} (git {git}):");
+        for m in &metrics {
+            let _ = writeln!(report, "  {:<40} speedup {:.3}", m.label, m.speedup);
+            series
+                .entry(m.label.clone())
+                .or_default()
+                .push((name.clone(), m.speedup));
+        }
+        for label in &failed {
+            regressions += 1;
+            let _ = writeln!(report, "  REGRESSION: gate {label:?} failed");
+        }
+    }
+    for (label, obs) in &series {
+        if obs.len() < 2 {
+            continue;
+        }
+        let (first_file, first) = &obs[0];
+        let (last_file, last) = &obs[obs.len() - 1];
+        if *first > 0.0 && (first - last) / first > TREND_DROP_THRESHOLD {
+            regressions += 1;
+            let _ = writeln!(
+                report,
+                "REGRESSION: {label} speedup {first:.3} ({first_file}) -> {last:.3} ({last_file})"
+            );
+        }
+    }
+    let _ = writeln!(
+        report,
+        "\n{} file(s), {} tracked metric(s), {regressions} regression(s)",
+        files.len(),
+        series.len()
+    );
+    Ok(TrendReport {
+        report,
+        regressions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_journal() -> String {
+        let mut j = String::new();
+        j.push_str("{\"type\":\"run_start\",\"name\":\"t\"}\n");
+        j.push_str(
+            "{\"type\":\"span\",\"name\":\"train\",\"path\":\"train\",\"start_ns\":0,\"tid\":0,\"dur_ns\":1000}\n",
+        );
+        j.push_str(
+            "{\"type\":\"span\",\"name\":\"train_epoch\",\"path\":\"train/train_epoch\",\"start_ns\":10,\"tid\":0,\"dur_ns\":600}\n",
+        );
+        j.push_str("{\"type\":\"train_epoch\",\"model\":\"m\",\"epoch\":0,\"loss\":0.5}\n");
+        j.push_str("{\"type\":\"serve_trace\",\"request_id\":\"sr-1\",\"endpoint\":\"/v1/score\",\"status\":200,\"parse_ns\":10,\"queue_ns\":20,\"batch_ns\":5,\"score_ns\":30,\"serialize_ns\":5,\"total_ns\":90}\n");
+        j.push_str("{\"type\":\"counter\",\"name\":\"serve.requests\",\"value\":3}\n");
+        j
+    }
+
+    #[test]
+    fn summary_counts_and_phases() {
+        let s = summarize(&sample_journal()).unwrap();
+        assert!(s.contains("span"), "no span section: {s}");
+        assert!(s.contains("serve.requests"), "no counters: {s}");
+        assert!(
+            s.contains("serve_trace: 1 sampled"),
+            "no trace section: {s}"
+        );
+    }
+
+    #[test]
+    fn query_filters_by_type_and_field() {
+        let j = sample_journal();
+        let all = query_records(&j, None, &[]).unwrap();
+        assert_eq!(all.len(), j.lines().count());
+        let spans = query_records(&j, Some("span"), &[]).unwrap();
+        assert_eq!(spans.len(), 2);
+        let w = Where::parse("name=train").unwrap();
+        let named = query_records(&j, Some("span"), &[w]).unwrap();
+        assert_eq!(named.len(), 1);
+        assert!(named[0].contains("\"train\""));
+        let w = Where::parse("status=200").unwrap();
+        assert_eq!(query_records(&j, None, &[w]).unwrap().len(), 1);
+        assert!(Where::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn diff_reports_deltas() {
+        let a = sample_journal();
+        let b = a.clone() + "{\"type\":\"counter\",\"name\":\"serve.shed\",\"value\":2}\n";
+        let d = diff_journals(&a, &b).unwrap();
+        assert!(d.contains("serve.shed"), "missing new counter: {d}");
+        assert!(d.contains("counter"), "missing count delta: {d}");
+    }
+
+    #[test]
+    fn flame_computes_self_time() {
+        let f = flame(&sample_journal()).unwrap();
+        // Parent self time = 1000 - 600; child keeps its own 600.
+        assert!(f.contains("train 400"), "bad self time: {f}");
+        assert!(f.contains("train;train_epoch 600"), "bad leaf: {f}");
+        assert!(flame("{\"type\":\"run_start\",\"name\":\"t\"}\n").is_err());
+    }
+
+    #[test]
+    fn trend_flags_gate_failures_and_drops() {
+        let old = r#"{"host":{"git_describe":"aaa"},"gate":{"name":"matmul","speedup":2.0,"passed":true}}"#;
+        let new = r#"{"host":{"git_describe":"bbb"},"gate":{"name":"matmul","speedup":1.0,"passed":false}}"#;
+        let t = trend(&[
+            ("old.json".to_string(), old.to_string()),
+            ("new.json".to_string(), new.to_string()),
+        ])
+        .unwrap();
+        assert_eq!(t.regressions, 2, "gate failure + 50% drop: {}", t.report);
+        assert!(t.report.contains("REGRESSION"));
+
+        let healthy = trend(&[("old.json".to_string(), old.to_string())]).unwrap();
+        assert_eq!(healthy.regressions, 0);
+    }
+
+    #[test]
+    fn trend_reads_thread_sweep_arrays() {
+        let sweep = r#"{"host":{"git_describe":"ccc"},"threads":[1,2],"kernels":[{"name":"matmul","speedup":[1.0,1.7]}]}"#;
+        let t = trend(&[("BENCH_parallel.json".to_string(), sweep.to_string())]).unwrap();
+        assert!(
+            t.report.contains("kernels.matmul") && t.report.contains("1.700"),
+            "sweep metric missing: {}",
+            t.report
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! `siterec-ops`: operator analytics over run-journals and bench artifacts.
+//!
+//! ```text
+//! siterec-ops summary <journal>
+//! siterec-ops query   <journal> [--type T] [--where k=v ...]
+//! siterec-ops diff    <journal_a> <journal_b>
+//! siterec-ops trace   <journal> --out trace.json
+//! siterec-ops flame   <journal> [--out stacks.txt]
+//! siterec-ops trend   <BENCH_*.json ...> [--strict]
+//! ```
+//!
+//! `trace` writes Chrome trace-event JSON (load it in Perfetto or
+//! `chrome://tracing`); `flame` prints `flamegraph.pl`-compatible collapsed
+//! stacks; `trend` exits nonzero under `--strict` when any benchmark gate
+//! failed or a tracked speedup dropped more than 10% across the series.
+
+use siterec_ops::{diff_journals, flame, query_records, summarize, trend, Where};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        eprintln!("usage: siterec-ops <summary|query|diff|trace|flame|trend> [args]");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    match run(cmd, rest) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("siterec-ops: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Pull the value after a `--flag`, removing both from `args`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err(format!("missing value for {flag}"));
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(v))
+        }
+        None => Ok(None),
+    }
+}
+
+fn take_bare(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// The single positional argument (after flags were removed).
+fn one_positional(args: Vec<String>, what: &str) -> Result<String, String> {
+    let mut it = args.into_iter();
+    match (it.next(), it.next()) {
+        (Some(p), None) => Ok(p),
+        (None, _) => Err(format!("missing {what}")),
+        (_, Some(extra)) => Err(format!("unexpected argument {extra:?}")),
+    }
+}
+
+fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, String> {
+    let mut args = rest.to_vec();
+    match cmd {
+        "summary" => {
+            let journal = one_positional(args, "journal path")?;
+            print!("{}", summarize(&read(&journal)?)?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "query" => {
+            let kind = take_flag(&mut args, "--type")?;
+            let mut wheres = Vec::new();
+            while let Some(w) = take_flag(&mut args, "--where")? {
+                wheres.push(Where::parse(&w)?);
+            }
+            let journal = one_positional(args, "journal path")?;
+            for line in query_records(&read(&journal)?, kind.as_deref(), &wheres)? {
+                println!("{line}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let mut it = args.into_iter();
+            let (Some(a), Some(b), None) = (it.next(), it.next(), it.next()) else {
+                return Err("diff needs exactly two journal paths".to_string());
+            };
+            print!("{}", diff_journals(&read(&a)?, &read(&b)?)?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "trace" => {
+            let out = take_flag(&mut args, "--out")?;
+            let journal = one_positional(args, "journal path")?;
+            let chrome = siterec_obs::trace::chrome_trace_from_journal(&read(&journal)?)?;
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, &chrome)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("wrote {} bytes -> {path}", chrome.len());
+                }
+                None => println!("{chrome}"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "flame" => {
+            let out = take_flag(&mut args, "--out")?;
+            let journal = one_positional(args, "journal path")?;
+            let stacks = flame(&read(&journal)?)?;
+            match out {
+                Some(path) => std::fs::write(&path, &stacks)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?,
+                None => print!("{stacks}"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "trend" => {
+            let strict = take_bare(&mut args, "--strict");
+            if args.is_empty() {
+                return Err("trend needs at least one BENCH_*.json path".to_string());
+            }
+            let mut files = Vec::new();
+            for path in args {
+                let content = read(&path)?;
+                files.push((path, content));
+            }
+            let t = trend(&files)?;
+            print!("{}", t.report);
+            if strict && t.regressions > 0 {
+                return Err(format!("{} regression(s) under --strict", t.regressions));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!(
+            "unknown subcommand {other:?} (summary | query | diff | trace | flame | trend)"
+        )),
+    }
+}

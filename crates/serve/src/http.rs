@@ -152,20 +152,34 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Split a request path into `(route, query string)` at the first `?`.
+/// The query string is `None` when the path has no `?`.
+pub fn split_path_query(path: &str) -> (&str, Option<&str>) {
+    match path.split_once('?') {
+        Some((route, query)) => (route, Some(query)),
+        None => (path, None),
+    }
+}
+
 /// Write one response: status line, `Content-Type`/`Content-Length`, any
-/// extra headers (e.g. `Retry-After` on a 503), then the body.
+/// extra headers (e.g. `Retry-After` on a 503, `X-Request-Id` everywhere),
+/// then the body. The default `application/json` content type is suppressed
+/// when `extra_headers` carries its own `Content-Type` (the Prometheus
+/// `/metrics` rendering is `text/plain`).
 pub fn write_response<W: Write>(
     w: &mut W,
     status: u16,
     body: &str,
     extra_headers: &[(&str, String)],
 ) -> io::Result<()> {
-    write!(
-        w,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
-        reason(status),
-        body.len()
-    )?;
+    let has_ct = extra_headers
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case("content-type"));
+    write!(w, "HTTP/1.1 {status} {}\r\n", reason(status))?;
+    if !has_ct {
+        write!(w, "Content-Type: application/json\r\n")?;
+    }
+    write!(w, "Content-Length: {}\r\n", body.len())?;
     for (name, value) in extra_headers {
         write!(w, "{name}: {value}\r\n")?;
     }
@@ -217,6 +231,31 @@ mod tests {
             .unwrap()
             .unwrap_err();
         assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn splits_path_and_query() {
+        assert_eq!(split_path_query("/metrics"), ("/metrics", None));
+        assert_eq!(
+            split_path_query("/metrics?format=json"),
+            ("/metrics", Some("format=json"))
+        );
+        assert_eq!(split_path_query("/a?b?c"), ("/a", Some("b?c")));
+    }
+
+    #[test]
+    fn content_type_override_suppresses_default() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "x",
+            &[("Content-Type", "text/plain; version=0.0.4".to_string())],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert_eq!(text.matches("Content-Type:").count(), 1);
     }
 
     #[test]

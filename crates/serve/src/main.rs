@@ -254,12 +254,17 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         );
     };
 
-    let (status, response) = request_with_retry(&addr, method, path, &body, retries)?;
+    let (status, response, request_id) = request_with_retry(&addr, method, path, &body, retries)?;
     print!("{response}");
     if status == 200 {
         Ok(())
     } else {
-        Err(format!("server answered {status}"))
+        // Surface the server-assigned request id so a failing request can be
+        // looked up in the run journal (`siterec-ops query --type serve_trace`).
+        match request_id {
+            Some(id) => Err(format!("server answered {status} (request id {id})")),
+            None => Err(format!("server answered {status}")),
+        }
     }
 }
 
@@ -278,24 +283,33 @@ fn take_bare(args: &mut Vec<String>, flag: &str) -> bool {
 /// deterministic — 100 ms doubling to a 2 s cap — and a `Retry-After`
 /// header from the server overrides the local schedule (capped the same),
 /// so a shedding server paces its own clients. The final attempt's answer
-/// (or last transport error) is returned as-is.
+/// (or last transport error) is returned as-is; retried 503/504 answers
+/// leave their `X-Request-Id` in the error path so a timed-out request can
+/// still be traced in the server's journal.
 fn request_with_retry(
     addr: &str,
     method: &str,
     path: &str,
     body: &str,
     retries: usize,
-) -> Result<(u16, String), String> {
+) -> Result<(u16, String, Option<String>), String> {
     const CAP: Duration = Duration::from_secs(2);
     let mut delay = Duration::from_millis(100);
     let mut last = String::new();
+    let mut last_id: Option<String> = None;
     for attempt in 0..=retries {
         match request_once(addr, method, path, body) {
-            Ok((status, response, retry_after)) => {
+            Ok((status, response, retry_after, request_id)) => {
                 let retryable = status == 503 || status == 504;
                 if !retryable || attempt == retries {
-                    return Ok((status, response));
+                    return Ok((status, response, request_id));
                 }
+                if let Some(id) = &request_id {
+                    eprintln!(
+                        "siterec-serve: {status} on attempt {attempt} (request id {id}), retrying"
+                    );
+                }
+                last_id = request_id;
                 let wait = retry_after
                     .map(Duration::from_secs)
                     .unwrap_or(delay)
@@ -311,20 +325,25 @@ fn request_with_retry(
         }
         delay = (delay * 2).min(CAP);
     }
+    let id_note = match last_id {
+        Some(id) => format!(" (last request id {id})"),
+        None => String::new(),
+    };
     Err(format!(
-        "request to {addr} failed after {} attempt(s): {last}",
+        "request to {addr} failed after {} attempt(s): {last}{id_note}",
         retries + 1
     ))
 }
 
 /// One HTTP/1.1 exchange over a fresh connection (`Connection: close`).
-/// Returns `(status, body, Retry-After seconds if the server sent one)`.
+/// Returns `(status, body, Retry-After seconds, X-Request-Id)`.
+#[allow(clippy::type_complexity)]
 fn request_once(
     addr: &str,
     method: &str,
     path: &str,
     body: &str,
-) -> Result<(u16, String, Option<u64>), String> {
+) -> Result<(u16, String, Option<u64>, Option<String>), String> {
     let err = |e: std::io::Error| e.to_string();
     let mut stream = TcpStream::connect(addr).map_err(err)?;
     stream
@@ -347,13 +366,17 @@ fn request_once(
         .split_once("\r\n\r\n")
         .map(|(h, b)| (h, b.to_string()))
         .unwrap_or((raw.as_str(), String::new()));
-    let retry_after = head.lines().find_map(|line| {
-        let (name, value) = line.split_once(':')?;
-        if name.trim().eq_ignore_ascii_case("retry-after") {
-            value.trim().parse::<u64>().ok()
-        } else {
-            None
-        }
-    });
-    Ok((status, body, retry_after))
+    let header = |name: &str| {
+        head.lines().find_map(|line| {
+            let (n, value) = line.split_once(':')?;
+            if n.trim().eq_ignore_ascii_case(name) {
+                Some(value.trim().to_string())
+            } else {
+                None
+            }
+        })
+    };
+    let retry_after = header("retry-after").and_then(|v| v.parse::<u64>().ok());
+    let request_id = header("x-request-id");
+    Ok((status, body, retry_after, request_id))
 }

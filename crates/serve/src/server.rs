@@ -125,11 +125,66 @@ impl ServeConfig {
 /// this to a checkpoint-directory re-read; in-process servers may omit it).
 pub type Reloader = Box<dyn Fn() -> Result<EmbeddingStore, String> + Send + Sync>;
 
-/// One queued scoring job: the query plus the reply slot it fills.
+/// Phase decomposition of one served request, in nanoseconds. Phases a
+/// request never enters (queue wait on a full cache hit, scoring on an
+/// admin endpoint) stay 0. Purely observational: phases are measured around
+/// the existing work, never alter it, and feed the `serve_trace` journal
+/// record plus the per-phase histograms behind `/metrics`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Phases {
+    /// Body parsing and query validation on the accept worker.
+    pub parse_ns: u64,
+    /// Longest time any of the request's jobs sat in the bounded queue
+    /// before a scorer drain picked it up.
+    pub queue_ns: u64,
+    /// Scorer-side batch assembly (drain → query vector + store handle) for
+    /// the slowest batch that carried one of this request's jobs.
+    pub batch_ns: u64,
+    /// `EmbeddingStore::score_batch` wall time for that batch.
+    pub score_ns: u64,
+    /// Response-body serialization back on the accept worker.
+    pub serialize_ns: u64,
+}
+
+/// Phase labels, index-aligned with [`Metrics::phases`] and
+/// [`Phases::as_array`].
+const PHASE_NAMES: [&str; 5] = [
+    "parse",
+    "queue_wait",
+    "batch_assembly",
+    "score",
+    "serialize",
+];
+
+impl Phases {
+    fn as_array(&self) -> [u64; 5] {
+        [
+            self.parse_ns,
+            self.queue_ns,
+            self.batch_ns,
+            self.score_ns,
+            self.serialize_ns,
+        ]
+    }
+}
+
+/// One queued scoring job: the query plus the reply slot it fills and the
+/// enqueue instant its queue-wait phase is measured from.
 struct Job {
     query: Query,
     slot: usize,
-    tx: mpsc::Sender<(usize, f32)>,
+    enqueued: Instant,
+    tx: mpsc::Sender<Reply>,
+}
+
+/// The scorer's answer to one job: the score plus the scorer-side phase
+/// timings of the batch that carried it.
+struct Reply {
+    slot: usize,
+    score: f32,
+    queue_ns: u64,
+    batch_ns: u64,
+    score_ns: u64,
 }
 
 /// Bounded MPMC job queue (mutex + condvar; `push` never blocks — a full
@@ -188,6 +243,8 @@ struct Metrics {
     timeouts: AtomicU64,
     score_lat: Mutex<obs::Histogram>,
     recommend_lat: Mutex<obs::Histogram>,
+    /// Per-phase nanosecond histograms, index-aligned with [`PHASE_NAMES`].
+    phases: Mutex<[obs::Histogram; 5]>,
 }
 
 impl Metrics {
@@ -202,6 +259,19 @@ impl Metrics {
             timeouts: AtomicU64::new(0),
             score_lat: Mutex::new(obs::Histogram::default()),
             recommend_lat: Mutex::new(obs::Histogram::default()),
+            phases: Mutex::new(Default::default()),
+        }
+    }
+
+    /// Fold one request's phase decomposition into the per-phase histograms
+    /// (zero-valued phases are skipped: a request that never queued should
+    /// not drag the queue-wait distribution toward zero).
+    fn observe_phases(&self, p: &Phases) {
+        let mut hists = self.phases.lock().unwrap_or_else(|e| e.into_inner());
+        for (h, v) in hists.iter_mut().zip(p.as_array()) {
+            if v > 0 {
+                h.record(v as f64);
+            }
         }
     }
 }
@@ -379,9 +449,17 @@ fn scorer_loop(sh: &Shared) {
             obs::counter_add("serve.score.dropped", batch.len() as u64);
             continue;
         }
+        // Phase seams: queue wait ends when the drain lands, batch assembly
+        // covers building the query vector + store handle, scoring is the
+        // `score_batch` call itself. Timing is taken around the existing
+        // work — batch composition and score bits are untouched by it.
+        let t_drained = Instant::now();
         let store = sh.current_store();
         let queries: Vec<Query> = batch.iter().map(|j| j.query).collect();
+        let batch_ns = t_drained.elapsed().as_nanos() as u64;
+        let t_score = Instant::now();
         let scores = store.score_batch(&queries);
+        let score_ns = t_score.elapsed().as_nanos() as u64;
         {
             let mut cache = sh.cache.lock().unwrap_or_else(|e| e.into_inner());
             for (job, &score) in batch.iter().zip(&scores) {
@@ -389,8 +467,15 @@ fn scorer_loop(sh: &Shared) {
             }
         }
         for (job, score) in batch.into_iter().zip(scores) {
+            let queue_ns = t_drained.saturating_duration_since(job.enqueued).as_nanos() as u64;
             // A dead receiver only means the requesting worker timed out.
-            let _ = job.tx.send((job.slot, score));
+            let _ = job.tx.send(Reply {
+                slot: job.slot,
+                score,
+                queue_ns,
+                batch_ns,
+                score_ns,
+            });
         }
     }
 }
@@ -420,11 +505,23 @@ fn handle_connection(sh: &Shared, stream: TcpStream) -> io::Result<()> {
             Err(e) => return Err(e),
         };
         let close = req.wants_close();
+        // Causal tracing: adopt the client's `X-Request-Id` or mint one, and
+        // decide *now* (deterministic arrival-order counter, never wall
+        // clock) whether this request is trace-sampled. The id is echoed on
+        // every response so a client error message names a journal record.
+        let rid = match req.header("x-request-id") {
+            Some(id) if !id.is_empty() => id.to_string(),
+            _ => obs::trace::next_request_id(),
+        };
+        let sampled = obs::trace::sample_request();
         let t0 = Instant::now();
-        let (status, body, extra) = dispatch(sh, &req);
+        let (status, body, mut extra, phases) = dispatch(sh, &req);
+        extra.push(("X-Request-Id", rid.clone()));
         sh.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        sh.metrics.observe_phases(&phases);
         http::write_response(&mut out, status, &body, &extra)?;
         let _ = out.flush();
+        let total_ns = t0.elapsed().as_nanos() as u64;
         if obs::enabled() {
             let n = body.lines().count() as u64;
             obs::record!(
@@ -432,8 +529,27 @@ fn handle_connection(sh: &Shared, stream: TcpStream) -> io::Result<()> {
                 endpoint = req.path.as_str(),
                 status = u64::from(status),
                 n = n,
-                dur_ns = t0.elapsed().as_nanos() as u64,
+                dur_ns = total_ns,
             );
+            if sampled {
+                obs::record!(
+                    "serve_trace",
+                    request_id = rid.as_str(),
+                    endpoint = req.path.as_str(),
+                    status = u64::from(status),
+                    parse_ns = phases.parse_ns,
+                    queue_ns = phases.queue_ns,
+                    batch_ns = phases.batch_ns,
+                    score_ns = phases.score_ns,
+                    serialize_ns = phases.serialize_ns,
+                    total_ns = total_ns,
+                );
+                for (name, v) in PHASE_NAMES.iter().zip(phases.as_array()) {
+                    if v > 0 {
+                        obs::hist_record(phase_hist_name(name), v as f64);
+                    }
+                }
+            }
         }
         obs::counter_add("serve.requests", 1);
         if is_scoring_endpoint(&req.path) {
@@ -452,6 +568,18 @@ fn is_scoring_endpoint(path: &str) -> bool {
     path == "/v1/score" || path == "/v1/recommend"
 }
 
+/// The recorder histogram fed by each phase of a sampled request (the
+/// recorder keys histograms by `&'static str`, hence the explicit map).
+fn phase_hist_name(phase: &str) -> &'static str {
+    match phase {
+        "parse" => "serve.phase.parse",
+        "queue_wait" => "serve.phase.queue_wait",
+        "batch_assembly" => "serve.phase.batch_assembly",
+        "score" => "serve.phase.score",
+        _ => "serve.phase.serialize",
+    }
+}
+
 fn error_body(message: &str) -> String {
     let mut body = String::from("{\"error\":");
     json::write_escaped(&mut body, message);
@@ -459,20 +587,42 @@ fn error_body(message: &str) -> String {
     body
 }
 
-/// Route one request. Returns `(status, body, extra headers)`.
-fn dispatch(sh: &Shared, req: &Request) -> (u16, String, Vec<(&'static str, String)>) {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (200, healthz_body(sh), vec![]),
-        ("GET", "/metrics") => (200, metrics_body(sh), vec![]),
+/// One routed response: status, body, extra headers, and the request's
+/// phase decomposition (all-zero for endpoints that never score).
+type Routed = (u16, String, Vec<(&'static str, String)>, Phases);
+
+fn no_phases(status: u16, body: String, extra: Vec<(&'static str, String)>) -> Routed {
+    (status, body, extra, Phases::default())
+}
+
+/// Route one request. The path's query string selects representations
+/// (`/metrics?format=json`), never routes.
+fn dispatch(sh: &Shared, req: &Request) -> Routed {
+    let (route, query) = http::split_path_query(&req.path);
+    match (req.method.as_str(), route) {
+        ("GET", "/healthz") => no_phases(200, healthz_body(sh), vec![]),
+        ("GET", "/metrics") => {
+            // Prometheus text exposition by default; the pre-existing JSON
+            // body stays reachable under `?format=json`.
+            if query == Some("format=json") {
+                no_phases(200, metrics_body(sh), vec![])
+            } else {
+                no_phases(
+                    200,
+                    prometheus_body(sh),
+                    vec![("Content-Type", "text/plain; version=0.0.4".to_string())],
+                )
+            }
+        }
         ("POST", "/v1/score") => handle_score(sh, &req.body),
         ("POST", "/v1/recommend") => handle_recommend(sh, &req.body),
         ("POST", "/admin/reload") => handle_reload(sh),
         ("POST", "/admin/quit") => {
             sh.stop();
-            (200, "{\"status\":\"stopping\"}".to_string(), vec![])
+            no_phases(200, "{\"status\":\"stopping\"}".to_string(), vec![])
         }
-        ("GET" | "POST", _) => (404, error_body(&format!("no route {}", req.path)), vec![]),
-        (m, _) => (405, error_body(&format!("method {m} not allowed")), vec![]),
+        ("GET" | "POST", _) => no_phases(404, error_body(&format!("no route {route}")), vec![]),
+        (m, _) => no_phases(405, error_body(&format!("method {m} not allowed")), vec![]),
     }
 }
 
@@ -547,6 +697,134 @@ fn metrics_body(sh: &Shared) -> String {
     b
 }
 
+/// Append one histogram in Prometheus text exposition format: cumulative
+/// `_bucket{le="..."}` lines over the nonzero log₂ buckets, `+Inf`, `_sum`,
+/// `_count`, plus p50/p99 quantile gauges derived server-side.
+fn prom_histogram(out: &mut String, name: &str, labels: &str, h: &obs::Histogram) {
+    use std::fmt::Write as _;
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for (bucket, count) in h.nonzero_buckets() {
+        cumulative += count;
+        let (_, hi) = obs::Histogram::bucket_bounds(bucket);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"{hi}\"}} {cumulative}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+        h.count()
+    );
+    let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum());
+    let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count());
+    for (q, qv) in [("0.5", h.quantile(0.5)), ("0.99", h.quantile(0.99))] {
+        let _ = writeln!(out, "{name}_quantile{{{labels}{sep}quantile=\"{q}\"}} {qv}");
+    }
+}
+
+/// `/metrics` default rendering: Prometheus text exposition format
+/// (counters, cache gauges, per-endpoint latency histograms, and the
+/// per-phase histograms filled by [`Metrics::observe_phases`]).
+fn prometheus_body(sh: &Shared) -> String {
+    use std::fmt::Write as _;
+    let m = &sh.metrics;
+    let (hits, misses) = sh.cache.lock().unwrap_or_else(|e| e.into_inner()).stats();
+    let mut b = String::new();
+    let _ = writeln!(
+        b,
+        "# HELP siterec_serve_uptime_seconds Seconds since server start."
+    );
+    let _ = writeln!(b, "# TYPE siterec_serve_uptime_seconds gauge");
+    let _ = writeln!(
+        b,
+        "siterec_serve_uptime_seconds {:.3}",
+        m.start.elapsed().as_secs_f64()
+    );
+    let counters: [(&str, &str, u64); 8] = [
+        (
+            "requests_total",
+            "HTTP requests handled.",
+            m.requests.load(Ordering::Relaxed),
+        ),
+        (
+            "scored_queries_total",
+            "Queries scored (including cache hits).",
+            m.scored.load(Ordering::Relaxed),
+        ),
+        (
+            "shed_total",
+            "Requests shed with 503 by the bounded queue.",
+            m.shed.load(Ordering::Relaxed),
+        ),
+        (
+            "errors_total",
+            "Internal errors (failed reloads).",
+            m.errors.load(Ordering::Relaxed),
+        ),
+        (
+            "reloads_total",
+            "Successful checkpoint reloads.",
+            m.reloads.load(Ordering::Relaxed),
+        ),
+        (
+            "timeouts_total",
+            "Requests answered 504 by the scorer deadline.",
+            m.timeouts.load(Ordering::Relaxed),
+        ),
+        ("cache_hits_total", "Score-cache hits.", hits),
+        ("cache_misses_total", "Score-cache misses.", misses),
+    ];
+    for (name, help, value) in counters {
+        let _ = writeln!(b, "# HELP siterec_serve_{name} {help}");
+        let _ = writeln!(b, "# TYPE siterec_serve_{name} counter");
+        let _ = writeln!(b, "siterec_serve_{name} {value}");
+    }
+    let _ = writeln!(
+        b,
+        "# HELP siterec_serve_degraded Degraded-mode flag (1 = degraded)."
+    );
+    let _ = writeln!(b, "# TYPE siterec_serve_degraded gauge");
+    let _ = writeln!(
+        b,
+        "siterec_serve_degraded {}",
+        i32::from(sh.degraded_reason().is_some())
+    );
+    let _ = writeln!(
+        b,
+        "# HELP siterec_serve_latency_ns End-to-end handler latency by endpoint."
+    );
+    let _ = writeln!(b, "# TYPE siterec_serve_latency_ns histogram");
+    prom_histogram(
+        &mut b,
+        "siterec_serve_latency_ns",
+        "endpoint=\"score\"",
+        &m.score_lat.lock().unwrap_or_else(|e| e.into_inner()),
+    );
+    prom_histogram(
+        &mut b,
+        "siterec_serve_latency_ns",
+        "endpoint=\"recommend\"",
+        &m.recommend_lat.lock().unwrap_or_else(|e| e.into_inner()),
+    );
+    let _ = writeln!(
+        b,
+        "# HELP siterec_serve_phase_ns Per-phase request latency decomposition."
+    );
+    let _ = writeln!(b, "# TYPE siterec_serve_phase_ns histogram");
+    let hists = m.phases.lock().unwrap_or_else(|e| e.into_inner());
+    for (name, h) in PHASE_NAMES.iter().zip(hists.iter()) {
+        prom_histogram(
+            &mut b,
+            "siterec_serve_phase_ns",
+            &format!("phase=\"{name}\""),
+            h,
+        );
+    }
+    b
+}
+
 fn parse_period(v: Option<&Json>) -> Result<Option<Period>, String> {
     match v {
         None | Some(Json::Null) => Ok(None),
@@ -604,8 +882,9 @@ fn score_line(q: &Query, score: f32) -> String {
 
 /// `POST /v1/score`: body is JSONL, one query object per line; the response
 /// is JSONL in the same order, each line echoing the query plus its score.
-fn handle_score(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str, String)>) {
+fn handle_score(sh: &Shared, body: &str) -> Routed {
     let t0 = Instant::now();
+    let mut phases = Phases::default();
     let store = sh.current_store();
     let mut queries = Vec::new();
     for (i, line) in body.lines().enumerate() {
@@ -615,7 +894,7 @@ fn handle_score(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str, Str
         let parsed = match json::parse(line) {
             Ok(v) => v,
             Err(e) => {
-                return (
+                return no_phases(
                     400,
                     error_body(&format!("line {}: invalid JSON: {e}", i + 1)),
                     vec![],
@@ -632,13 +911,14 @@ fn handle_score(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str, Str
         match build() {
             Ok(q) => queries.push(q),
             Err(e) => {
-                return (400, error_body(&format!("line {}: {e}", i + 1)), vec![]);
+                return no_phases(400, error_body(&format!("line {}: {e}", i + 1)), vec![]);
             }
         }
     }
     if queries.is_empty() {
-        return (400, error_body("empty request: no query lines"), vec![]);
+        return no_phases(400, error_body("empty request: no query lines"), vec![]);
     }
+    phases.parse_ns = t0.elapsed().as_nanos() as u64;
 
     // Cache probe first; only misses travel through the queue.
     let mut scores: Vec<Option<f32>> = vec![None; queries.len()];
@@ -658,6 +938,7 @@ fn handle_score(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str, Str
             let job = Job {
                 query: queries[slot],
                 slot,
+                enqueued: Instant::now(),
                 tx: tx.clone(),
             };
             if sh.queue.push(job).is_err() {
@@ -665,7 +946,7 @@ fn handle_score(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str, Str
                 // retries against a healthy queue rather than half-waiting.
                 sh.metrics.shed.fetch_add(1, Ordering::Relaxed);
                 obs::counter_add("serve.shed", 1);
-                return (
+                return no_phases(
                     503,
                     error_body("score queue full; retry shortly"),
                     vec![("Retry-After", "1".to_string())],
@@ -680,11 +961,18 @@ fn handle_score(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str, Str
             // clone is gone). Both mean these queries were never answered —
             // a retryable gateway timeout, not a client error.
             match rx.recv_timeout(sh.cfg.score_timeout) {
-                Ok((slot, score)) => scores[slot] = Some(score),
+                Ok(reply) => {
+                    scores[reply.slot] = Some(reply.score);
+                    // A request may span several scorer batches; report the
+                    // slowest path through each phase.
+                    phases.queue_ns = phases.queue_ns.max(reply.queue_ns);
+                    phases.batch_ns = phases.batch_ns.max(reply.batch_ns);
+                    phases.score_ns = phases.score_ns.max(reply.score_ns);
+                }
                 Err(_) => {
                     sh.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
                     obs::counter_add("serve.timeouts", 1);
-                    return (
+                    return no_phases(
                         504,
                         error_body("scorer timed out; retry shortly"),
                         vec![("Retry-After", "1".to_string())],
@@ -694,11 +982,13 @@ fn handle_score(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str, Str
         }
     }
 
+    let t_ser = Instant::now();
     let mut out = String::new();
     for (q, s) in queries.iter().zip(&scores) {
         out.push_str(&score_line(q, s.expect("every slot filled")));
         out.push('\n');
     }
+    phases.serialize_ns = t_ser.elapsed().as_nanos() as u64;
     sh.metrics
         .scored
         .fetch_add(queries.len() as u64, Ordering::Relaxed);
@@ -708,17 +998,18 @@ fn handle_score(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str, Str
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .record(t0.elapsed().as_nanos() as f64);
-    (200, out, vec![])
+    (200, out, vec![], phases)
 }
 
 /// `POST /v1/recommend`: body is one JSON object `{"type": T, "k": K,
 /// "period": optional}`; the response is JSONL, one ranked line per region.
-fn handle_recommend(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str, String)>) {
+fn handle_recommend(sh: &Shared, body: &str) -> Routed {
     let t0 = Instant::now();
+    let mut phases = Phases::default();
     let store = sh.current_store();
     let parsed = match json::parse(body.trim()) {
         Ok(v) => v,
-        Err(e) => return (400, error_body(&format!("invalid JSON: {e}")), vec![]),
+        Err(e) => return no_phases(400, error_body(&format!("invalid JSON: {e}")), vec![]),
     };
     let build = || -> Result<(usize, usize, Option<Period>), String> {
         let ty = parse_index(parsed.get("type"), "type", store.n_types())?;
@@ -731,9 +1022,15 @@ fn handle_recommend(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str,
     };
     let (ty, k, period) = match build() {
         Ok(v) => v,
-        Err(e) => return (400, error_body(&e), vec![]),
+        Err(e) => return no_phases(400, error_body(&e), vec![]),
     };
+    phases.parse_ns = t0.elapsed().as_nanos() as u64;
+    // Ranking runs on the accept worker (no queue hop), so the whole
+    // `top_k` pass is this request's score phase.
+    let t_score = Instant::now();
     let ranked = store.top_k(ty, period, k);
+    phases.score_ns = t_score.elapsed().as_nanos() as u64;
+    let t_ser = Instant::now();
     let mut out = String::new();
     for (rank, (region, score)) in ranked.iter().enumerate() {
         let mut line = format!(
@@ -745,6 +1042,7 @@ fn handle_recommend(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str,
         line.push_str("}\n");
         out.push_str(&line);
     }
+    phases.serialize_ns = t_ser.elapsed().as_nanos() as u64;
     sh.metrics
         .scored
         .fetch_add(ranked.len() as u64, Ordering::Relaxed);
@@ -754,7 +1052,7 @@ fn handle_recommend(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str,
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .record(t0.elapsed().as_nanos() as f64);
-    (200, out, vec![])
+    (200, out, vec![], phases)
 }
 
 /// `POST /admin/reload`: rebuild the store from the configured source while
@@ -765,9 +1063,9 @@ fn handle_recommend(sh: &Shared, body: &str) -> (u16, String, Vec<(&'static str,
 /// the failure reason, a `serve_degraded` record is journaled), and the
 /// next successful reload recovers. The rebuild sits behind the
 /// `serve.reload` failpoint seam for chaos drills.
-fn handle_reload(sh: &Shared) -> (u16, String, Vec<(&'static str, String)>) {
+fn handle_reload(sh: &Shared) -> Routed {
     let Some(reloader) = sh.reloader.as_ref() else {
-        return (
+        return no_phases(
             400,
             error_body("this server has no reload source configured"),
             vec![],
@@ -786,7 +1084,7 @@ fn handle_reload(sh: &Shared) -> (u16, String, Vec<(&'static str, String)>) {
             sh.metrics.errors.fetch_add(1, Ordering::Relaxed);
             let reason = format!("reload failed: {e}");
             sh.enter_degraded(reason.clone());
-            return (500, error_body(&reason), vec![]);
+            return no_phases(500, error_body(&reason), vec![]);
         }
     };
     let epoch = fresh.trained_epochs();
@@ -806,7 +1104,7 @@ fn handle_reload(sh: &Shared) -> (u16, String, Vec<(&'static str, String)>) {
         dur_ns = dur_ns,
     );
     obs::counter_add("serve.reloads", 1);
-    (
+    no_phases(
         200,
         format!("{{\"status\":\"reloaded\",\"trained_epochs\":{epoch},\"dur_ns\":{dur_ns}}}"),
         vec![],

@@ -141,10 +141,19 @@ fn degraded_reload_and_scorer_timeout() {
         health.contains("synthetic reload failure"),
         "degraded_reason must name the cause: {health}"
     );
-    let (_, _, metrics) = http(&addr, "GET", "/metrics", "");
+    let (_, _, metrics) = http(&addr, "GET", "/metrics?format=json", "");
     assert!(
         metrics.contains("\"degraded\":1"),
         "metrics miss degraded flag: {metrics}"
+    );
+    let (_, head, prom) = http(&addr, "GET", "/metrics", "");
+    assert!(
+        head.contains("Content-Type: text/plain"),
+        "prometheus /metrics must be text/plain: {head}"
+    );
+    assert!(
+        prom.contains("siterec_serve_degraded 1"),
+        "prometheus metrics miss degraded gauge: {prom}"
     );
     let (st, _, body) = http(&addr, "POST", "/v1/score", "{\"region\":0,\"type\":0}\n");
     assert_eq!(st, 200, "degraded server must keep serving: {body}");
@@ -158,7 +167,7 @@ fn degraded_reload_and_scorer_timeout() {
         health.contains("\"status\":\"ok\""),
         "reload did not recover: {health}"
     );
-    let (_, _, metrics) = http(&addr, "GET", "/metrics", "");
+    let (_, _, metrics) = http(&addr, "GET", "/metrics?format=json", "");
     assert!(
         metrics.contains("\"degraded\":0"),
         "metrics still degraded: {metrics}"

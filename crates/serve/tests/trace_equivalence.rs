@@ -1,0 +1,231 @@
+//! The tracing determinism contract, end to end: request tracing (ids,
+//! sampling, phase decomposition, `serve_trace` journaling) must never move
+//! a score bit, and `X-Request-Id` must round-trip client → queue → scorer →
+//! response header → journal.
+//!
+//! One `#[test]` fn: the obs recorder and the trace sampler are
+//! process-global, and a single sequential test keeps them race-free.
+
+use siterec_geo::Period;
+use siterec_obs as obs;
+use siterec_serve::server::{start, ServeConfig};
+use siterec_serve::{EmbeddingStore, Query, Recipe};
+use siterec_tensor::checkpoint::CheckpointPolicy;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const EPOCHS: usize = 3;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("siterec_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn restored_model(dir: &PathBuf) -> siterec_core::O2SiteRec {
+    let recipe: Recipe = "tiny:7".parse().unwrap();
+    let mut trainer = recipe.build_model(EPOCHS);
+    trainer
+        .try_train_resumable(&CheckpointPolicy::new(dir))
+        .unwrap();
+    let mut model = recipe.build_model(1);
+    model
+        .restore_latest(dir)
+        .unwrap()
+        .expect("checkpoint written");
+    model
+}
+
+fn sweep(n_regions: usize) -> Vec<Query> {
+    (0..n_regions)
+        .map(|region| Query {
+            region,
+            ty: region % 3,
+            period: match region % 6 {
+                5 => None,
+                i => Some(Period::from_index(i)),
+            },
+        })
+        .collect()
+}
+
+fn offline_bits(model: &siterec_core::O2SiteRec, queries: &[Query]) -> Vec<u32> {
+    queries
+        .iter()
+        .map(|q| model.predict_for(&[(q.region, q.ty)], q.period)[0].to_bits())
+        .collect()
+}
+
+/// One `Connection: close` exchange with optional extra request headers;
+/// returns `(status, response head, body)`.
+fn http(addr: &str, method: &str, path: &str, headers: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n{headers}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or((raw.clone(), String::new()));
+    (status, head, body)
+}
+
+fn response_request_id(head: &str) -> Option<String> {
+    head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("x-request-id") {
+            Some(value.trim().to_string())
+        } else {
+            None
+        }
+    })
+}
+
+fn query_line(q: &Query) -> String {
+    let p = match q.period {
+        Some(p) => format!("\"{}\"", p.label()),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"region\":{},\"type\":{},\"period\":{p}}}\n",
+        q.region, q.ty
+    )
+}
+
+fn serve_bits(addr: &str, queries: &[Query]) -> Vec<u32> {
+    let body: String = queries.iter().map(query_line).collect();
+    let (status, _, body) = http(addr, "POST", "/v1/score", "", &body);
+    assert_eq!(status, 200, "score failed: {body}");
+    body.lines()
+        .map(|line| {
+            let v = obs::json::parse(line).unwrap();
+            (v.get("score").and_then(|s| s.as_num()).unwrap() as f32).to_bits()
+        })
+        .collect()
+}
+
+fn test_config(workers: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::from_env();
+    cfg.addr = "127.0.0.1:0".to_string();
+    cfg.workers = workers;
+    cfg.max_batch = 7; // force multi-batch scoring of the sweep
+    cfg
+}
+
+#[test]
+fn tracing_preserves_bits_and_roundtrips_request_ids() {
+    let dir = scratch("trace_equiv");
+    let model = restored_model(&dir);
+    let reference = EmbeddingStore::new(model.export_serving());
+    let queries = sweep(reference.n_regions());
+    let offline = offline_bits(&model, &queries);
+
+    // Tracing OFF: recorder disabled, so ids are still assigned but nothing
+    // is sampled or journaled.
+    obs::reset();
+    obs::set_enabled(false);
+    for workers in [1usize, 8] {
+        let store = EmbeddingStore::new(model.export_serving());
+        let handle = start(store, test_config(workers), None).unwrap();
+        let addr = handle.addr().to_string();
+        assert_eq!(
+            serve_bits(&addr, &queries),
+            offline,
+            "tracing-off scores diverged at {workers} workers"
+        );
+        handle.shutdown();
+        handle.join();
+    }
+
+    // Tracing ON at full sampling: every request journals a serve_trace
+    // record and feeds the phase histograms — and the bits must not move.
+    obs::reset();
+    obs::set_enabled(true);
+    obs::trace::set_sample_every(1);
+    for workers in [1usize, 8] {
+        let store = EmbeddingStore::new(model.export_serving());
+        let handle = start(store, test_config(workers), None).unwrap();
+        let addr = handle.addr().to_string();
+        assert_eq!(
+            serve_bits(&addr, &queries),
+            offline,
+            "tracing-on scores diverged at {workers} workers"
+        );
+        handle.shutdown();
+        handle.join();
+    }
+
+    // X-Request-Id round-trip: a client-supplied id is echoed in the
+    // response header and lands in the journal's serve_trace record after
+    // travelling worker → queue → scorer → worker.
+    let store = EmbeddingStore::new(model.export_serving());
+    let handle = start(store, test_config(2), None).unwrap();
+    let addr = handle.addr().to_string();
+
+    let (status, head, body) = http(
+        &addr,
+        "POST",
+        "/v1/score",
+        "X-Request-Id: client-supplied-42\r\n",
+        "{\"region\":0,\"type\":2}\n",
+    );
+    assert_eq!(status, 200, "traced score failed: {body}");
+    assert_eq!(
+        response_request_id(&head).as_deref(),
+        Some("client-supplied-42"),
+        "client id not echoed: {head}"
+    );
+
+    // Without a client id the server mints one (sr- + 16 hex).
+    let (status, head, _) = http(&addr, "GET", "/healthz", "", "");
+    assert_eq!(status, 200);
+    let minted = response_request_id(&head).expect("server-minted id");
+    assert!(
+        minted.starts_with("sr-") && minted.len() == 19,
+        "bad minted id {minted:?}"
+    );
+
+    handle.shutdown();
+    handle.join();
+
+    let text = obs::journal_to_string();
+    let stats = obs::validate_journal(&text).expect("journal validates");
+    assert!(
+        stats.count("serve_trace") >= 1,
+        "no serve_trace records journaled"
+    );
+    let trace_line = text
+        .lines()
+        .find(|l| l.contains("\"type\":\"serve_trace\"") && l.contains("client-supplied-42"))
+        .expect("client-supplied id must reach the journal");
+    let v = obs::json::parse(trace_line).unwrap();
+    assert_eq!(
+        v.get("endpoint").and_then(|e| e.as_str()),
+        Some("/v1/score")
+    );
+    // The cold scoring request went through the queue and the scorer, so
+    // its queue/score phases are non-zero; total covers the whole dispatch.
+    let phase = |k: &str| v.get(k).and_then(|n| n.as_num()).unwrap();
+    assert!(phase("score_ns") > 0.0, "score phase missing: {trace_line}");
+    assert!(phase("queue_ns") > 0.0, "queue phase missing: {trace_line}");
+    assert!(
+        phase("total_ns") >= phase("score_ns"),
+        "total below score: {trace_line}"
+    );
+
+    obs::reset();
+    obs::set_enabled(false);
+    let _ = std::fs::remove_dir_all(&dir);
+}
