@@ -110,6 +110,29 @@ run cargo run -q --release -p siterec-serve --bin chaos_serve -- \
 # the fault-free reference at 1 and 8 scorer/tensor threads.
 run cargo run -q --release -p siterec-serve --bin chaos_soak -- \
     --seeds 3 --epochs 3 --threads 1,8 --dir target/ci_chaos_soak
+# Supervision chaos smoke: continuous client traffic against a supervised
+# replica fleet while a seeded schedule kills, hangs (SIGSTOP), and
+# rolling-restarts replicas. Every client request must eventually succeed
+# with raw-bit-identical scores to an undisturbed run at 1 and 8 workers,
+# every graceful drain must finish with zero abandoned jobs, and the
+# supervisor + replica journals must validate with event counts matching
+# the schedule. --keep leaves the journals for the ops smoke below.
+run cargo run -q --release -p siterec-serve --bin chaos_supervise -- \
+    --replicas 2 --events 6 --epochs 3 --threads 1,8 \
+    --dir target/ci_chaos_supervise --keep
+# Ops smoke over the supervision journals chaos_supervise just kept: the
+# summary must render the supervisor-event and drain sections, and query
+# must surface the typed supervisor_event records.
+run sh -c 'cargo run -q -p siterec-ops -- summary \
+    target/ci_chaos_supervise/supervisor.jsonl | grep -q "supervisor events:"'
+run sh -c 'cargo run -q -p siterec-ops -- query \
+    target/ci_chaos_supervise/supervisor.jsonl --type supervisor_event \
+    | grep restart >/dev/null'
+run sh -c 'cat target/ci_chaos_supervise/journals/*.jsonl \
+    | cargo run -q -p siterec-ops -- summary /dev/stdin | grep -q "drains:"'
+# Deeper seeded byte-fuzz sweep over every untrusted-byte parser (HTTP,
+# SRWIRE1, SRCKPT1, SREMB1, journal) under the optimized build.
+SITEREC_FUZZ_ITERS=1000 run cargo test -q --release -p siterec-serve --test fuzz_smoke
 # Serving perf smoke: QPS + latency percentiles artifact, journal-validated.
 echo "ci: serving perf smoke + journal validation"
 SITEREC_SMOKE=1 SITEREC_JOURNAL="$PWD/target/ci_serve_bench.jsonl" \

@@ -29,6 +29,8 @@
 //! | `failpoint`   | `name` (str), `mode` (str), `hit` (num)                      |
 //! | `serve_degraded` | `reason` (str)                                            |
 //! | `serve_trace` | `request_id` (str), `endpoint` (str), `status`, `parse_ns`, `queue_ns`, `batch_ns`, `score_ns`, `serialize_ns`, `total_ns` (num) |
+//! | `serve_drain` | `completed` (num), `refused` (num), `abandoned` (num), `dur_ns` (num) |
+//! | `supervisor_event` | `event` (str), `replica` (num), `detail` (str)           |
 //!
 //! Unknown types fail validation: the schema is closed so that a typo in an
 //! emitting call site is caught by CI rather than silently ignored.
@@ -306,6 +308,23 @@ const SCHEMA: &[(&str, &[(&str, Kind)])] = &[
             ("score_ns", Kind::Num),
             ("serialize_ns", Kind::Num),
             ("total_ns", Kind::Num),
+        ],
+    ),
+    (
+        "serve_drain",
+        &[
+            ("completed", Kind::Num),
+            ("refused", Kind::Num),
+            ("abandoned", Kind::Num),
+            ("dur_ns", Kind::Num),
+        ],
+    ),
+    (
+        "supervisor_event",
+        &[
+            ("event", Kind::Str),
+            ("replica", Kind::Num),
+            ("detail", Kind::Str),
         ],
     ),
 ];

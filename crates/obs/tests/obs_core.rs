@@ -225,11 +225,24 @@ fn typed_records_roundtrip_through_validator() {
         hit = 2u64
     );
     obs::record!("serve_degraded", reason = "reload failed: boom");
+    obs::record!(
+        "serve_drain",
+        completed = 12u64,
+        refused = 3u64,
+        abandoned = 0u64,
+        dur_ns = 4567u64
+    );
+    obs::record!(
+        "supervisor_event",
+        event = "restart",
+        replica = 1u64,
+        detail = "attempt 2 backoff 400ms"
+    );
     obs::record!("run_end", name = "unit_test", dur_ns = 12345u64);
 
     let journal = obs::journal_to_string();
     let stats = obs::validate_journal(&journal).expect("journal validates");
-    assert_eq!(stats.lines, 8);
+    assert_eq!(stats.lines, 10);
     for kind in [
         "run_start",
         "train_epoch",
@@ -238,6 +251,8 @@ fn typed_records_roundtrip_through_validator() {
         "train_error",
         "failpoint",
         "serve_degraded",
+        "serve_drain",
+        "supervisor_event",
         "run_end",
     ] {
         assert_eq!(stats.count(kind), 1, "{kind}");
@@ -272,6 +287,18 @@ fn validator_rejects_schema_violations() {
     // Degraded record without its reason.
     let err = obs::validate_journal("{\"type\":\"serve_degraded\"}").unwrap_err();
     assert!(err.contains("missing required field"), "{err}");
+    // Drain record missing its abandoned count.
+    let err = obs::validate_journal(
+        "{\"type\":\"serve_drain\",\"completed\":1,\"refused\":0,\"dur_ns\":9}",
+    )
+    .unwrap_err();
+    assert!(err.contains("missing required field"), "{err}");
+    // Supervisor event with a non-numeric replica index.
+    let err = obs::validate_journal(
+        "{\"type\":\"supervisor_event\",\"event\":\"spawn\",\"replica\":\"one\",\"detail\":\"\"}",
+    )
+    .unwrap_err();
+    assert!(err.contains("must be a number"), "{err}");
     unlock(g);
 }
 

@@ -110,6 +110,39 @@ pub fn summarize(text: &str) -> Result<String, String> {
             let _ = writeln!(out, "  {phase:<14} {:>12.3} us", sum / n / 1e3);
         }
     }
+
+    let sup: Vec<_> = records
+        .iter()
+        .filter(|(_, v)| record_type(v) == "supervisor_event")
+        .collect();
+    if !sup.is_empty() {
+        let mut by_event: BTreeMap<&str, usize> = BTreeMap::new();
+        for (_, v) in &sup {
+            let e = v.get("event").and_then(Json::as_str).unwrap_or("?");
+            *by_event.entry(e).or_insert(0) += 1;
+        }
+        let _ = writeln!(out, "\nsupervisor events:");
+        for (event, n) in &by_event {
+            let _ = writeln!(out, "  {event:<20} {n}");
+        }
+    }
+
+    let drains: Vec<_> = records
+        .iter()
+        .filter(|(_, v)| record_type(v) == "serve_drain")
+        .collect();
+    if !drains.is_empty() {
+        let sum = |key: &str| -> f64 { drains.iter().map(|(_, v)| num(v, key)).sum() };
+        let _ = writeln!(
+            out,
+            "\ndrains: {} (completed {}, refused {}, abandoned {}, total {:.3} ms)",
+            drains.len(),
+            sum("completed"),
+            sum("refused"),
+            sum("abandoned"),
+            sum("dur_ns") / 1e6
+        );
+    }
     Ok(out)
 }
 
@@ -421,6 +454,15 @@ mod tests {
         j.push_str("{\"type\":\"train_epoch\",\"model\":\"m\",\"epoch\":0,\"loss\":0.5}\n");
         j.push_str("{\"type\":\"serve_trace\",\"request_id\":\"sr-1\",\"endpoint\":\"/v1/score\",\"status\":200,\"parse_ns\":10,\"queue_ns\":20,\"batch_ns\":5,\"score_ns\":30,\"serialize_ns\":5,\"total_ns\":90}\n");
         j.push_str("{\"type\":\"counter\",\"name\":\"serve.requests\",\"value\":3}\n");
+        j.push_str(
+            "{\"type\":\"supervisor_event\",\"event\":\"spawn\",\"replica\":0,\"detail\":\"gen 0\"}\n",
+        );
+        j.push_str(
+            "{\"type\":\"supervisor_event\",\"event\":\"restart\",\"replica\":0,\"detail\":\"attempt 1 backoff 150ms\"}\n",
+        );
+        j.push_str(
+            "{\"type\":\"serve_drain\",\"completed\":5,\"refused\":2,\"abandoned\":0,\"dur_ns\":1500000}\n",
+        );
         j
     }
 
@@ -432,6 +474,14 @@ mod tests {
         assert!(
             s.contains("serve_trace: 1 sampled"),
             "no trace section: {s}"
+        );
+        assert!(
+            s.contains("supervisor events:") && s.contains("restart"),
+            "no supervisor section: {s}"
+        );
+        assert!(
+            s.contains("drains: 1 (completed 5, refused 2, abandoned 0"),
+            "no drain totals: {s}"
         );
     }
 

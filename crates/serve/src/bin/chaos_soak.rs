@@ -321,6 +321,7 @@ fn run_lifecycle(
         max_requests: None,
         score_timeout: Duration::from_secs(10),
         read_timeout: Duration::from_millis(100),
+        ..ServeConfig::from_env()
     };
     let reloader: Reloader = {
         let recipe = *recipe;

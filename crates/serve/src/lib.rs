@@ -38,8 +38,10 @@ pub mod http;
 pub mod recipe;
 pub mod server;
 pub mod store;
+pub mod supervise;
 
 pub use cache::ScoreCache;
 pub use recipe::{Preset, Recipe};
-pub use server::{start, Reloader, ServeConfig, ServerHandle};
+pub use server::{start, Reloader, ServeConfig, ServeController, ServerHandle};
 pub use store::{EmbeddingStore, Query, StoreError};
+pub use supervise::SuperviseConfig;

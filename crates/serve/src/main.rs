@@ -1,6 +1,7 @@
-//! `siterec-serve`: train, serve, and query O²-SiteRec site recommendations.
+//! `siterec-serve`: train, serve, supervise, and query O²-SiteRec site
+//! recommendations.
 //!
-//! Three subcommands (see SERVING.md for the operator guide):
+//! Four subcommands (see SERVING.md for the operator guide):
 //!
 //! * `train  --recipe tiny:7 --ckpt DIR [--epochs N]` — train the recipe's
 //!   model with durable checkpoints (resumes if the directory already holds
@@ -9,23 +10,33 @@
 //!   [--batch N] [--cache N] [--image PATH] [--max-requests N]` — rebuild
 //!   the model from the recipe, adopt the newest checkpoint, export the
 //!   embedding store (optionally writing its `SREMB1` image), and serve.
-//!   Prints `listening on <addr>` once ready.
-//! * `query  --addr HOST:PORT [--retry N] <action>` — a tiny HTTP client for
-//!   scripts and CI: `--region R --type T [--period L]` scores one pair,
-//!   `--topk K --type T` ranks regions, `--healthz` / `--metrics` /
-//!   `--reload` / `--quit` hit the admin surface. Prints the response body.
+//!   Prints `listening on <addr>` once ready. On Unix, SIGTERM triggers the
+//!   same graceful drain as `POST /admin/drain`.
+//! * `supervise --recipe tiny:7 --ckpt DIR [--replicas N] [--seed S]
+//!   [--restart-budget N] [--journal-dir DIR] ...` — run N replica servers
+//!   as supervised children: health-checked, restarted with deterministic
+//!   seeded backoff, rolling-restarted via `POST /admin/roll`. Prints the
+//!   supervisor's own `listening on <addr>`; replica addresses live in its
+//!   `/healthz` JSON.
+//! * `query  --addr HOST:PORT [--retry N] [--timeout-ms T] <action>` — a
+//!   tiny HTTP client for scripts and CI: `--region R --type T [--period
+//!   L]` scores one pair, `--topk K --type T` ranks regions, `--healthz` /
+//!   `--metrics` / `--reload` / `--drain` / `--quit` hit the admin surface.
+//!   Prints the response body.
 //!
 //! When `SITEREC_JOURNAL` is set, `run` writes the JSONL run-journal
-//! (including `serve_request` / `serve_reload` records) on graceful exit
-//! (`/admin/quit` or `--max-requests`).
+//! (including `serve_request` / `serve_reload` / `serve_drain` records) on
+//! graceful exit (`/admin/quit`, `/admin/drain`, SIGTERM, or
+//! `--max-requests`), and `supervise` writes its `supervisor_event`
+//! history the same way.
 
 use siterec_obs as obs;
 use siterec_serve::server::{start, ServeConfig};
 use siterec_serve::store::EmbeddingStore;
-use siterec_serve::Recipe;
+use siterec_serve::{supervise, Recipe, SuperviseConfig};
 use siterec_tensor::checkpoint::CheckpointPolicy;
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -33,16 +44,17 @@ use std::time::{Duration, Instant};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
-        eprintln!("usage: siterec-serve <train|run|query> [flags]  (see SERVING.md)");
+        eprintln!("usage: siterec-serve <train|run|supervise|query> [flags]  (see SERVING.md)");
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
     let result = match cmd {
         "train" => cmd_train(rest),
         "run" => cmd_run(rest),
+        "supervise" => cmd_supervise(rest),
         "query" => cmd_query(rest),
         other => Err(format!(
-            "unknown subcommand {other:?} (train | run | query)"
+            "unknown subcommand {other:?} (train | run | supervise | query)"
         )),
     };
     match result {
@@ -186,6 +198,25 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     let reloader: siterec_serve::Reloader = Box::new(move || build_store(recipe, &ckpt));
     let handle = start(store, cfg, Some(reloader)).map_err(|e| format!("could not bind: {e}"))?;
+    // SIGTERM gets the same graceful drain as `POST /admin/drain`: the
+    // handler only flips an atomic (async-signal-safe); a watcher thread
+    // notices and drives the drain, so the journal is flushed and the
+    // process exits 0.
+    #[cfg(unix)]
+    {
+        sigterm::install();
+        let controller = handle.controller();
+        std::thread::Builder::new()
+            .name("sigterm-watcher".to_string())
+            .spawn(move || loop {
+                if sigterm::received() {
+                    controller.drain();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            })
+            .map_err(|e| format!("sigterm watcher: {e}"))?;
+    }
     // The orchestrators (chaos_serve, ci.sh) parse this exact line.
     println!("listening on {}", handle.addr());
     std::io::stdout().flush().ok();
@@ -203,10 +234,106 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Minimal SIGTERM plumbing without a signal crate: libc's `signal` is
+/// declared directly, and the handler body is just an atomic store — the
+/// only async-signal-safe thing it could do. All real work happens on the
+/// watcher thread that polls [`received`].
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static RECEIVED: AtomicBool = AtomicBool::new(false);
+
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigterm(_sig: i32) {
+        RECEIVED.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the SIGTERM handler (idempotent).
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_sigterm as *const () as usize);
+        }
+    }
+
+    /// Has a SIGTERM arrived since [`install`]?
+    pub fn received() -> bool {
+        RECEIVED.load(Ordering::SeqCst)
+    }
+}
+
+fn cmd_supervise(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let recipe = take_flag(&mut args, "--recipe")?.ok_or("supervise needs --recipe preset:seed")?;
+    recipe.parse::<Recipe>()?; // fail fast on a typo, before spawning children
+    let ckpt: PathBuf = take_flag(&mut args, "--ckpt")?
+        .ok_or("supervise needs --ckpt DIR")?
+        .into();
+    let mut cfg = SuperviseConfig {
+        recipe,
+        ckpt,
+        ..SuperviseConfig::default()
+    };
+    if let Some(a) = take_flag(&mut args, "--addr")? {
+        cfg.addr = a;
+    }
+    if let Some(v) = take_parsed::<usize>(&mut args, "--replicas")? {
+        cfg.replicas = v.max(1);
+    }
+    if let Some(v) = take_parsed::<u64>(&mut args, "--seed")? {
+        cfg.seed = v;
+    }
+    if let Some(v) = take_parsed::<u32>(&mut args, "--restart-budget")? {
+        cfg.restart_budget = v;
+    }
+    if let Some(v) = take_parsed::<u64>(&mut args, "--health-interval-ms")? {
+        cfg.health_interval = Duration::from_millis(v.max(1));
+    }
+    if let Some(v) = take_parsed::<u64>(&mut args, "--health-timeout-ms")? {
+        cfg.health_timeout = Duration::from_millis(v.max(1));
+    }
+    if let Some(v) = take_parsed::<u32>(&mut args, "--unhealthy-after")? {
+        cfg.unhealthy_after = v.max(1);
+    }
+    if let Some(v) = take_parsed::<u64>(&mut args, "--drain-wait-ms")? {
+        cfg.drain_wait = Duration::from_millis(v.max(1));
+    }
+    if let Some(v) = take_parsed::<u64>(&mut args, "--spawn-timeout-ms")? {
+        cfg.spawn_timeout = Duration::from_millis(v.max(1));
+    }
+    cfg.workers = take_parsed::<usize>(&mut args, "--workers")?;
+    cfg.journal_dir = take_flag(&mut args, "--journal-dir")?.map(PathBuf::from);
+    reject_leftovers(&args)?;
+
+    obs::record!("run_start", name = "siterec-serve-supervise");
+    let t0 = Instant::now();
+    supervise::run(cfg)?;
+    obs::record!(
+        "run_end",
+        name = "siterec-serve-supervise",
+        dur_ns = t0.elapsed().as_nanos() as u64
+    );
+    if let Some(path) = obs::journal_path() {
+        let lines = obs::write_journal(path).map_err(|e| format!("journal write failed: {e}"))?;
+        eprintln!("[siterec] journal: {lines} lines -> {}", path.display());
+    }
+    Ok(())
+}
+
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let addr = take_flag(&mut args, "--addr")?.ok_or("query needs --addr HOST:PORT")?;
     let retries: usize = take_parsed(&mut args, "--retry")?.unwrap_or(0);
+    // Per-attempt total deadline (connect + request + response). A hung
+    // replica must never stall the client past it — that is the failure
+    // mode the supervision tests drive.
+    let timeout =
+        Duration::from_millis(take_parsed::<u64>(&mut args, "--timeout-ms")?.unwrap_or(30_000));
     let period = take_flag(&mut args, "--period")?;
     let region: Option<usize> = take_parsed(&mut args, "--region")?;
     let ty: Option<usize> = take_parsed(&mut args, "--type")?;
@@ -214,6 +341,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let healthz = take_bare(&mut args, "--healthz");
     let metrics = take_bare(&mut args, "--metrics");
     let reload = take_bare(&mut args, "--reload");
+    let drain = take_bare(&mut args, "--drain");
     let quit = take_bare(&mut args, "--quit");
     reject_leftovers(&args)?;
 
@@ -231,6 +359,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         ("GET", "/metrics", String::new())
     } else if reload {
         ("POST", "/admin/reload", String::new())
+    } else if drain {
+        ("POST", "/admin/drain", String::new())
     } else if quit {
         ("POST", "/admin/quit", String::new())
     } else if let Some(k) = topk {
@@ -249,12 +379,13 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     } else {
         return Err(
             "query needs one of: --region R --type T | --topk K --type T | --healthz | \
-             --metrics | --reload | --quit"
+             --metrics | --reload | --drain | --quit"
                 .to_string(),
         );
     };
 
-    let (status, response, request_id) = request_with_retry(&addr, method, path, &body, retries)?;
+    let (status, response, request_id) =
+        request_with_retry(&addr, method, path, &body, retries, timeout)?;
     print!("{response}");
     if status == 200 {
         Ok(())
@@ -278,29 +409,30 @@ fn take_bare(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-/// Retry transport errors *and* retryable server answers (503 load shed,
-/// 504 scorer timeout) up to `retries` extra attempts. The backoff is
-/// deterministic — 100 ms doubling to a 2 s cap — and a `Retry-After`
-/// header from the server overrides the local schedule (capped the same),
-/// so a shedding server paces its own clients. The final attempt's answer
-/// (or last transport error) is returned as-is; retried 503/504 answers
-/// leave their `X-Request-Id` in the error path so a timed-out request can
-/// still be traced in the server's journal.
+/// Retry transport errors *and* retryable server answers (503 load shed or
+/// drain, 504 scorer timeout, 429 admission control) up to `retries` extra
+/// attempts. The backoff is deterministic — 100 ms doubling to a 2 s cap —
+/// and a `Retry-After` header from the server overrides the local schedule
+/// (capped the same), so a shedding server paces its own clients. The
+/// final attempt's answer (or last transport error) is returned as-is;
+/// retried answers leave their `X-Request-Id` in the error path so a
+/// timed-out request can still be traced in the server's journal.
 fn request_with_retry(
     addr: &str,
     method: &str,
     path: &str,
     body: &str,
     retries: usize,
+    timeout: Duration,
 ) -> Result<(u16, String, Option<String>), String> {
     const CAP: Duration = Duration::from_secs(2);
     let mut delay = Duration::from_millis(100);
     let mut last = String::new();
     let mut last_id: Option<String> = None;
     for attempt in 0..=retries {
-        match request_once(addr, method, path, body) {
+        match request_once(addr, method, path, body, timeout) {
             Ok((status, response, retry_after, request_id)) => {
-                let retryable = status == 503 || status == 504;
+                let retryable = status == 503 || status == 504 || status == 429;
                 if !retryable || attempt == retries {
                     return Ok((status, response, request_id));
                 }
@@ -335,20 +467,33 @@ fn request_with_retry(
     ))
 }
 
-/// One HTTP/1.1 exchange over a fresh connection (`Connection: close`).
-/// Returns `(status, body, Retry-After seconds, X-Request-Id)`.
+/// One HTTP/1.1 exchange over a fresh connection (`Connection: close`),
+/// bounded by `timeout` end to end: the connect gets an explicit
+/// `connect_timeout` (a plain `TcpStream::connect` can hang on a stopped
+/// replica for minutes), and the remaining budget becomes the read/write
+/// timeouts. Returns `(status, body, Retry-After seconds, X-Request-Id)`.
 #[allow(clippy::type_complexity)]
 fn request_once(
     addr: &str,
     method: &str,
     path: &str,
     body: &str,
+    timeout: Duration,
 ) -> Result<(u16, String, Option<u64>, Option<String>), String> {
     let err = |e: std::io::Error| e.to_string();
-    let mut stream = TcpStream::connect(addr).map_err(err)?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .map_err(err)?;
+    let t0 = Instant::now();
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(err)?
+        .next()
+        .ok_or_else(|| format!("address {addr:?} did not resolve"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout).map_err(err)?;
+    let remaining = timeout
+        .checked_sub(t0.elapsed())
+        .unwrap_or(Duration::from_millis(1))
+        .max(Duration::from_millis(1));
+    stream.set_read_timeout(Some(remaining)).map_err(err)?;
+    stream.set_write_timeout(Some(remaining)).map_err(err)?;
     write!(
         stream,
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",

@@ -76,6 +76,20 @@ pub struct ServeConfig {
     /// keep-alive poll interval for the shutdown flag
     /// (`SITEREC_SERVE_READ_TIMEOUT_MS`, default 500 ms).
     pub read_timeout: Duration,
+    /// How long a drain waits for already-queued jobs before abandoning the
+    /// rest (`SITEREC_SERVE_DRAIN_TIMEOUT_MS`, default 5 000 ms).
+    pub drain_timeout: Duration,
+    /// Most simultaneously handled connections; excess connections are
+    /// answered 429 + Retry-After and closed (`SITEREC_SERVE_MAX_CONNS`,
+    /// default 256). Each accept worker drives one connection at a time, so
+    /// the cap only bites when set below the worker count.
+    pub max_conns: usize,
+    /// Per-connection token-bucket refill rate, in scoring requests per
+    /// second; `0` disables rate limiting (`SITEREC_SERVE_RATE`, default 0).
+    pub rate: f64,
+    /// Token-bucket burst capacity (`SITEREC_SERVE_BURST`; defaults to the
+    /// refill rate, minimum 1).
+    pub burst: f64,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -83,6 +97,14 @@ fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v >= 0.0)
         .unwrap_or(default)
 }
 
@@ -105,6 +127,7 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Defaults with every `SITEREC_SERVE_*` environment knob applied.
     pub fn from_env() -> ServeConfig {
+        let rate = env_f64("SITEREC_SERVE_RATE", 0.0);
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: env_usize(
@@ -117,6 +140,10 @@ impl ServeConfig {
             max_requests: None,
             score_timeout: env_ms("SITEREC_SERVE_SCORE_TIMEOUT_MS", 30_000),
             read_timeout: env_ms("SITEREC_SERVE_READ_TIMEOUT_MS", 500),
+            drain_timeout: env_ms("SITEREC_SERVE_DRAIN_TIMEOUT_MS", 5_000),
+            max_conns: env_usize("SITEREC_SERVE_MAX_CONNS", 256),
+            rate,
+            burst: env_f64("SITEREC_SERVE_BURST", rate.max(1.0)),
         }
     }
 }
@@ -229,6 +256,69 @@ impl JobQueue {
         let n = q.len().min(max);
         q.drain(..n).collect()
     }
+
+    /// Current queue depth (the `/metrics` gauge).
+    fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Drop every queued job, returning how many were discarded. Dropping a
+    /// job disconnects its reply channel, so the waiting worker answers 504.
+    fn clear(&self) -> usize {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let n = q.len();
+        q.clear();
+        n
+    }
+}
+
+/// Per-connection token bucket: `rate` tokens/s refill up to `burst`, one
+/// token per scoring request. `rate == 0` disables the limit. Local to a
+/// connection, so no locking — a keep-alive client hammering one socket is
+/// throttled without coordinating across workers.
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+    rate: f64,
+    burst: f64,
+}
+
+impl TokenBucket {
+    fn new(rate: f64, burst: f64) -> TokenBucket {
+        TokenBucket {
+            tokens: burst,
+            last: Instant::now(),
+            rate,
+            burst,
+        }
+    }
+
+    /// Take one token; `Err(retry_after_secs)` when the bucket is empty.
+    fn take(&mut self) -> Result<(), u64> {
+        if self.rate <= 0.0 {
+            return Ok(());
+        }
+        let now = Instant::now();
+        self.tokens =
+            (self.tokens + now.duration_since(self.last).as_secs_f64() * self.rate).min(self.burst);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err((((1.0 - self.tokens) / self.rate).ceil() as u64).max(1))
+        }
+    }
+}
+
+/// Decrements an atomic gauge on drop, so inflight accounting survives
+/// early returns and I/O errors.
+struct GaugeGuard<'a>(&'a AtomicU64);
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Per-endpoint latency histogram plus the server-wide counters backing
@@ -241,6 +331,8 @@ struct Metrics {
     errors: AtomicU64,
     reloads: AtomicU64,
     timeouts: AtomicU64,
+    rate_limited: AtomicU64,
+    conns_rejected: AtomicU64,
     score_lat: Mutex<obs::Histogram>,
     recommend_lat: Mutex<obs::Histogram>,
     /// Per-phase nanosecond histograms, index-aligned with [`PHASE_NAMES`].
@@ -257,6 +349,8 @@ impl Metrics {
             errors: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            conns_rejected: AtomicU64::new(0),
             score_lat: Mutex::new(obs::Histogram::default()),
             recommend_lat: Mutex::new(obs::Histogram::default()),
             phases: Mutex::new(Default::default()),
@@ -289,6 +383,25 @@ struct Shared {
     /// and the (stale but consistent) previous store is still serving.
     /// Cleared by the next successful reload.
     degraded: Mutex<Option<String>>,
+    /// Set once by [`Shared::begin_drain`]; never cleared — a drain ends in
+    /// process exit.
+    draining: AtomicBool,
+    /// `(started, deadline)` of the drain, set exactly once with `draining`.
+    drain_state: Mutex<Option<(Instant, Instant)>>,
+    /// Scoring requests finished (200) after the drain began.
+    drain_completed: AtomicU64,
+    /// Scoring requests refused 503 because the server was draining.
+    drain_refused: AtomicU64,
+    /// Scoring requests between dispatch entry and response assembly. The
+    /// increment happens *before* the draining check, so the scorer's
+    /// "queue empty && inflight == 0" drain-finalization test can never race
+    /// past a worker that is about to enqueue (SeqCst total order: if the
+    /// scorer read 0, the worker's later draining check must see `true` and
+    /// refuse instead of enqueueing).
+    inflight_score: AtomicU64,
+    /// Connections currently owned by accept workers (the `/metrics` gauge
+    /// and the `max_conns` admission check).
+    inflight_conns: AtomicU64,
 }
 
 impl Shared {
@@ -336,6 +449,63 @@ impl Shared {
     fn stopping(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Flip into draining mode (idempotent): accept workers stop accepting,
+    /// new scoring requests are refused 503 + Retry-After, and the scorer
+    /// finalizes once every already-queued job is answered (or the deadline
+    /// passes). Ends in [`Shared::stop`] via [`Shared::finish_drain`].
+    fn begin_drain(&self) {
+        let mut st = self.drain_state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.is_none() {
+            let now = Instant::now();
+            *st = Some((now, now + self.cfg.drain_timeout));
+            self.draining.store(true, Ordering::SeqCst);
+            obs::olog!(
+                Summary,
+                "serve: draining (deadline {:?})",
+                self.cfg.drain_timeout
+            );
+            self.queue.cv.notify_all();
+        }
+    }
+
+    fn drain_deadline_passed(&self) -> bool {
+        self.drain_state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some_and(|(_, deadline)| Instant::now() >= deadline)
+    }
+
+    /// Finalize the drain (called by the scorer exactly once): journal the
+    /// `serve_drain` outcome, then request shutdown so `join` returns and
+    /// the process can flush its journal and exit 0.
+    fn finish_drain(&self, abandoned: u64) {
+        let started = self
+            .drain_state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map(|(s, _)| s);
+        let dur_ns = started.map_or(0, |s| s.elapsed().as_nanos() as u64);
+        let completed = self.drain_completed.load(Ordering::SeqCst);
+        let refused = self.drain_refused.load(Ordering::SeqCst);
+        obs::record!(
+            "serve_drain",
+            completed = completed,
+            refused = refused,
+            abandoned = abandoned,
+            dur_ns = dur_ns,
+        );
+        obs::counter_add("serve.drained", 1);
+        obs::olog!(
+            Summary,
+            "serve: drain finished ({completed} completed, {refused} refused, {abandoned} abandoned)"
+        );
+        self.stop();
+    }
 }
 
 /// A running server: its bound address plus the handles needed to stop it.
@@ -345,10 +515,39 @@ pub struct ServerHandle {
     threads: Vec<JoinHandle<()>>,
 }
 
+/// A cloneable remote control for a running server, detached from the
+/// [`ServerHandle`] so a signal-watcher thread can drain or stop the server
+/// while the main thread owns the handle and blocks in
+/// [`ServerHandle::join`].
+#[derive(Clone)]
+pub struct ServeController {
+    shared: Arc<Shared>,
+}
+
+impl ServeController {
+    /// Begin a graceful drain (idempotent): refuse new work 503, finish
+    /// queued jobs within the drain deadline, then stop.
+    pub fn drain(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Hard stop without draining (idempotent).
+    pub fn stop(&self) {
+        self.shared.stop();
+    }
+}
+
 impl ServerHandle {
     /// The address the server actually bound (resolves `:0` requests).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// A detached controller for drain/stop from other threads.
+    pub fn controller(&self) -> ServeController {
+        ServeController {
+            shared: self.shared.clone(),
+        }
     }
 
     /// Ask every thread to stop (idempotent; threads notice within one poll
@@ -391,6 +590,12 @@ pub fn start(
         shutdown: AtomicBool::new(false),
         serve_requests: AtomicU64::new(0),
         degraded: Mutex::new(None),
+        draining: AtomicBool::new(false),
+        drain_state: Mutex::new(None),
+        drain_completed: AtomicU64::new(0),
+        drain_refused: AtomicU64::new(0),
+        inflight_score: AtomicU64::new(0),
+        inflight_conns: AtomicU64::new(0),
         cfg,
     });
     let mut threads = Vec::new();
@@ -417,7 +622,10 @@ pub fn start(
 }
 
 fn accept_loop(sh: &Shared, listener: &TcpListener) {
-    while !sh.stopping() {
+    // A draining server accepts no new connections: workers fall out of the
+    // accept loop (the last one drops the listener, closing the socket) and
+    // any connection already being handled finishes its current request.
+    while !sh.stopping() && !sh.draining() {
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = handle_connection(sh, stream);
@@ -434,8 +642,24 @@ fn accept_loop(sh: &Shared, listener: &TcpListener) {
 fn scorer_loop(sh: &Shared) {
     loop {
         let batch = sh.queue.pop_batch(sh.cfg.max_batch);
+        if sh.draining() && sh.drain_deadline_passed() {
+            // Deadline: whatever is still queued (this batch included) is
+            // abandoned — dropping the jobs disconnects their reply
+            // channels, so the waiting workers answer 504 and their clients
+            // retry elsewhere.
+            let abandoned = batch.len() as u64 + sh.queue.clear() as u64;
+            sh.finish_drain(abandoned);
+            return;
+        }
         if batch.is_empty() {
             if sh.stopping() {
+                return;
+            }
+            // Drain finalization: nothing queued and no worker between
+            // dispatch entry and response assembly means every accepted
+            // scoring request has been answered.
+            if sh.draining() && sh.inflight_score.load(Ordering::SeqCst) == 0 {
+                sh.finish_drain(0);
                 return;
             }
             continue;
@@ -481,6 +705,24 @@ fn scorer_loop(sh: &Shared) {
 }
 
 fn handle_connection(sh: &Shared, stream: TcpStream) -> io::Result<()> {
+    // Admission check first: over the connection cap, the client gets an
+    // immediate 429 + Retry-After and the socket closes without the worker
+    // reading a byte (reading could stall on a slow client, which is
+    // exactly the resource the cap protects).
+    let inflight = sh.inflight_conns.fetch_add(1, Ordering::SeqCst) + 1;
+    let _conn_gauge = GaugeGuard(&sh.inflight_conns);
+    if inflight as usize > sh.cfg.max_conns {
+        sh.metrics.conns_rejected.fetch_add(1, Ordering::Relaxed);
+        obs::counter_add("serve.conns_rejected", 1);
+        let mut out = stream;
+        return http::write_response(
+            &mut out,
+            429,
+            &error_body("connection limit reached; retry shortly"),
+            &[("Retry-After", "1".to_string())],
+        );
+    }
+    let mut bucket = TokenBucket::new(sh.cfg.rate, sh.cfg.burst);
     stream.set_read_timeout(Some(sh.cfg.read_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
@@ -496,8 +738,8 @@ fn handle_connection(sh: &Shared, stream: TcpStream) -> io::Result<()> {
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                // Idle keep-alive connection: poll the shutdown flag.
-                if sh.stopping() {
+                // Idle keep-alive connection: poll the shutdown/drain flags.
+                if sh.stopping() || sh.draining() {
                     return Ok(());
                 }
                 continue;
@@ -515,7 +757,25 @@ fn handle_connection(sh: &Shared, stream: TcpStream) -> io::Result<()> {
         };
         let sampled = obs::trace::sample_request();
         let t0 = Instant::now();
-        let (status, body, mut extra, phases) = dispatch(sh, &req);
+        // The token bucket throttles scoring endpoints only: health checks
+        // and metrics scrapes must keep working on a rate-limited client.
+        let (status, body, mut extra, phases) =
+            if is_scoring_endpoint(http::split_path_query(&req.path).0) {
+                match bucket.take() {
+                    Ok(()) => dispatch(sh, &req),
+                    Err(retry_after) => {
+                        sh.metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
+                        obs::counter_add("serve.rate_limited", 1);
+                        no_phases(
+                            429,
+                            error_body("rate limit exceeded; retry shortly"),
+                            vec![("Retry-After", retry_after.to_string())],
+                        )
+                    }
+                }
+            } else {
+                dispatch(sh, &req)
+            };
         extra.push(("X-Request-Id", rid.clone()));
         sh.metrics.requests.fetch_add(1, Ordering::Relaxed);
         sh.metrics.observe_phases(&phases);
@@ -558,7 +818,7 @@ fn handle_connection(sh: &Shared, stream: TcpStream) -> io::Result<()> {
                 sh.stop();
             }
         }
-        if close || sh.stopping() {
+        if close || sh.stopping() || sh.draining() {
             return Ok(());
         }
     }
@@ -614,9 +874,36 @@ fn dispatch(sh: &Shared, req: &Request) -> Routed {
                 )
             }
         }
-        ("POST", "/v1/score") => handle_score(sh, &req.body),
-        ("POST", "/v1/recommend") => handle_recommend(sh, &req.body),
+        ("POST", "/v1/score") => {
+            // Inflight is raised before the draining check — see the field
+            // comment on `Shared::inflight_score` for the ordering argument
+            // that keeps drain finalization from racing past this request.
+            sh.inflight_score.fetch_add(1, Ordering::SeqCst);
+            let _inflight = GaugeGuard(&sh.inflight_score);
+            if sh.draining() {
+                drain_refusal(sh)
+            } else {
+                let routed = handle_score(sh, &req.body);
+                if routed.0 == 200 && sh.draining() {
+                    sh.drain_completed.fetch_add(1, Ordering::SeqCst);
+                }
+                routed
+            }
+        }
+        ("POST", "/v1/recommend") => {
+            // Ranking runs synchronously on this worker (no queue hop), so
+            // only the refusal needs drain awareness.
+            if sh.draining() {
+                drain_refusal(sh)
+            } else {
+                handle_recommend(sh, &req.body)
+            }
+        }
         ("POST", "/admin/reload") => handle_reload(sh),
+        ("POST", "/admin/drain") => {
+            sh.begin_drain();
+            no_phases(200, "{\"status\":\"draining\"}".to_string(), vec![])
+        }
         ("POST", "/admin/quit") => {
             sh.stop();
             no_phases(200, "{\"status\":\"stopping\"}".to_string(), vec![])
@@ -626,15 +913,31 @@ fn dispatch(sh: &Shared, req: &Request) -> Routed {
     }
 }
 
+/// The 503 a scoring request gets while the server drains. Retry-After: 1
+/// steers well-behaved clients to another replica promptly.
+fn drain_refusal(sh: &Shared) -> Routed {
+    sh.drain_refused.fetch_add(1, Ordering::SeqCst);
+    obs::counter_add("serve.drain_refused", 1);
+    no_phases(
+        503,
+        error_body("server is draining; retry against another replica"),
+        vec![("Retry-After", "1".to_string())],
+    )
+}
+
 fn healthz_body(sh: &Shared) -> String {
     let store = sh.current_store();
     let mut b = String::from("{\"status\":");
-    match sh.degraded_reason() {
-        Some(reason) => {
+    // Draining outranks degraded: a draining replica is about to exit, so
+    // supervisors and load balancers must route elsewhere regardless of
+    // reload health.
+    match (sh.draining(), sh.degraded_reason()) {
+        (true, _) => b.push_str("\"draining\""),
+        (false, Some(reason)) => {
             b.push_str("\"degraded\",\"degraded_reason\":");
             json::write_escaped(&mut b, &reason);
         }
-        None => b.push_str("\"ok\""),
+        (false, None) => b.push_str("\"ok\""),
     }
     b.push_str(",\"model\":");
     json::write_escaped(&mut b, store.model());
@@ -680,13 +983,18 @@ fn metrics_body(sh: &Shared) -> String {
     let mut b = String::from("{");
     b.push_str(&format!("\"uptime_secs\":{uptime:.3},"));
     b.push_str(&format!(
-        "\"requests\":{requests},\"qps\":{qps:.3},\"scored_queries\":{},\"shed\":{},\"errors\":{},\"reloads\":{},\"timeouts\":{},\"degraded\":{},",
+        "\"requests\":{requests},\"qps\":{qps:.3},\"scored_queries\":{},\"shed\":{},\"errors\":{},\"reloads\":{},\"timeouts\":{},\"rate_limited\":{},\"conns_rejected\":{},\"queue_depth\":{},\"inflight_connections\":{},\"degraded\":{},\"draining\":{},",
         m.scored.load(Ordering::Relaxed),
         m.shed.load(Ordering::Relaxed),
         m.errors.load(Ordering::Relaxed),
         m.reloads.load(Ordering::Relaxed),
         m.timeouts.load(Ordering::Relaxed),
+        m.rate_limited.load(Ordering::Relaxed),
+        m.conns_rejected.load(Ordering::Relaxed),
+        sh.queue.depth(),
+        sh.inflight_conns.load(Ordering::SeqCst),
         if sh.degraded_reason().is_some() { 1 } else { 0 },
+        if sh.draining() { 1 } else { 0 },
     ));
     b.push_str(&format!(
         "\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4}}},"
@@ -742,7 +1050,7 @@ fn prometheus_body(sh: &Shared) -> String {
         "siterec_serve_uptime_seconds {:.3}",
         m.start.elapsed().as_secs_f64()
     );
-    let counters: [(&str, &str, u64); 8] = [
+    let counters: [(&str, &str, u64); 10] = [
         (
             "requests_total",
             "HTTP requests handled.",
@@ -773,6 +1081,16 @@ fn prometheus_body(sh: &Shared) -> String {
             "Requests answered 504 by the scorer deadline.",
             m.timeouts.load(Ordering::Relaxed),
         ),
+        (
+            "rate_limited_total",
+            "Requests answered 429 by the per-connection token bucket.",
+            m.rate_limited.load(Ordering::Relaxed),
+        ),
+        (
+            "conns_rejected_total",
+            "Connections answered 429 by the max-connections cap.",
+            m.conns_rejected.load(Ordering::Relaxed),
+        ),
         ("cache_hits_total", "Score-cache hits.", hits),
         ("cache_misses_total", "Score-cache misses.", misses),
     ];
@@ -790,6 +1108,28 @@ fn prometheus_body(sh: &Shared) -> String {
         b,
         "siterec_serve_degraded {}",
         i32::from(sh.degraded_reason().is_some())
+    );
+    let _ = writeln!(
+        b,
+        "# HELP siterec_serve_draining Draining-mode flag (1 = draining)."
+    );
+    let _ = writeln!(b, "# TYPE siterec_serve_draining gauge");
+    let _ = writeln!(b, "siterec_serve_draining {}", i32::from(sh.draining()));
+    let _ = writeln!(
+        b,
+        "# HELP siterec_serve_queue_depth Jobs waiting in the bounded scorer queue."
+    );
+    let _ = writeln!(b, "# TYPE siterec_serve_queue_depth gauge");
+    let _ = writeln!(b, "siterec_serve_queue_depth {}", sh.queue.depth());
+    let _ = writeln!(
+        b,
+        "# HELP siterec_serve_inflight_connections Connections currently owned by accept workers."
+    );
+    let _ = writeln!(b, "# TYPE siterec_serve_inflight_connections gauge");
+    let _ = writeln!(
+        b,
+        "siterec_serve_inflight_connections {}",
+        sh.inflight_conns.load(Ordering::SeqCst)
     );
     let _ = writeln!(
         b,

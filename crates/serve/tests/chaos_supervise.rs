@@ -1,0 +1,36 @@
+//! Drives the `chaos_supervise` harness binary at test scale: a short
+//! seeded kill/hang/roll schedule against a 2-replica supervised fleet
+//! with continuous traffic (see the binary's module docs for the full
+//! drill). The binary panics on any violated assertion, so this test only
+//! checks the exit status and the final marker line; `ci.sh` runs the
+//! longer schedule in release.
+
+use std::process::Command;
+
+#[test]
+fn supervised_fleet_survives_chaos_with_identical_scores() {
+    let dir = std::env::temp_dir().join(format!(
+        "siterec_chaos_supervise_test_{}",
+        std::process::id()
+    ));
+    let out = Command::new(env!("CARGO_BIN_EXE_chaos_supervise"))
+        .args(["--events", "3", "--epochs", "1", "--threads", "1,2"])
+        .arg("--dir")
+        .arg(&dir)
+        .output()
+        .expect("run chaos_supervise");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "chaos_supervise failed\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+    );
+    assert!(
+        stdout.contains("chaos_supervise: all assertions passed"),
+        "missing success marker\n--- stdout ---\n{stdout}"
+    );
+    assert!(
+        stdout.contains("graceful drains audited"),
+        "harness never audited a graceful drain\n--- stdout ---\n{stdout}"
+    );
+}

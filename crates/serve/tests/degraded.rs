@@ -96,6 +96,7 @@ fn degraded_reload_and_scorer_timeout() {
         max_requests: None,
         score_timeout: Duration::from_secs(5),
         read_timeout: Duration::from_millis(100),
+        ..ServeConfig::from_env()
     };
     let handle = start(store, cfg, Some(reloader)).expect("bind");
     let addr = handle.addr().to_string();

@@ -1,0 +1,313 @@
+//! In-process drain and admission-control coverage: the connection cap
+//! answers an immediate 429, the per-connection token bucket throttles
+//! scoring (and only scoring) endpoints, and `/admin/drain` flips the
+//! server into a graceful quiesce that refuses new scoring work with 503 +
+//! Retry-After, finishes everything accepted, journals a `serve_drain`
+//! record with zero abandoned jobs, and exits cleanly.
+//!
+//! Everything runs in one `#[test]` because the obs recorder is
+//! process-global; a single test fn keeps the journal assertions race-free.
+
+use siterec_obs as obs;
+use siterec_serve::{start, EmbeddingStore, Recipe, ServeConfig};
+use std::io::{BufRead, BufReader, Read, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One `Connection: close` exchange returning `(status, headers, body)`.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    split_response(&raw)
+}
+
+fn split_response(raw: &str) -> (u16, String, String) {
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or((raw.to_string(), String::new()));
+    (status, head, body)
+}
+
+/// One exchange over an already-open keep-alive connection: writes the
+/// request, then reads exactly one Content-Length-framed response.
+fn exchange(
+    reader: &mut BufReader<TcpStream>,
+    out: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String, String) {
+    write!(
+        out,
+        "{method} {path} HTTP/1.1\r\nHost: keepalive\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response header");
+        assert!(!line.is_empty(), "connection closed mid-response");
+        if line == "\r\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(|v| v.trim().parse().expect("content-length"))
+        })
+        .expect("response carries Content-Length");
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).expect("read response body");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, head, String::from_utf8(body).expect("utf8 body"))
+}
+
+fn score_bits(body: &str) -> u32 {
+    let line = body.lines().next().expect("one response line");
+    let v = obs::json::parse(line).expect("valid response JSON");
+    (v.get("score").and_then(|s| s.as_num()).expect("score") as f32).to_bits()
+}
+
+#[test]
+fn drain_and_admission_control() {
+    obs::reset();
+    obs::set_enabled(true);
+    obs::failpoint::disarm();
+
+    // The new knobs ride the same env plumbing as the existing ones.
+    let defaults = ServeConfig::from_env();
+    assert_eq!(defaults.drain_timeout, Duration::from_millis(5_000));
+    assert_eq!(defaults.max_conns, 256);
+    assert_eq!(defaults.rate, 0.0, "rate limiting is off by default");
+    std::env::set_var("SITEREC_SERVE_DRAIN_TIMEOUT_MS", "750");
+    std::env::set_var("SITEREC_SERVE_MAX_CONNS", "7");
+    std::env::set_var("SITEREC_SERVE_RATE", "2.5");
+    std::env::set_var("SITEREC_SERVE_BURST", "4");
+    let tuned = ServeConfig::from_env();
+    assert_eq!(tuned.drain_timeout, Duration::from_millis(750));
+    assert_eq!(tuned.max_conns, 7);
+    assert_eq!(tuned.rate, 2.5);
+    assert_eq!(tuned.burst, 4.0);
+    std::env::remove_var("SITEREC_SERVE_DRAIN_TIMEOUT_MS");
+    std::env::remove_var("SITEREC_SERVE_MAX_CONNS");
+    std::env::remove_var("SITEREC_SERVE_RATE");
+    std::env::remove_var("SITEREC_SERVE_BURST");
+
+    let recipe: Recipe = "tiny:3".parse().unwrap();
+    let model = recipe.build_model(1);
+    let offline = model.predict_for(&[(0, 0), (1, 1)], None);
+
+    // ---- Admission: the connection cap answers an immediate 429. ----
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue_cap: 64,
+        max_batch: 8,
+        cache_cap: 16,
+        max_requests: None,
+        score_timeout: Duration::from_secs(5),
+        read_timeout: Duration::from_millis(100),
+        max_conns: 2,
+        ..ServeConfig::from_env()
+    };
+    let handle = start(EmbeddingStore::new(model.export_serving()), cfg, None).expect("bind");
+    let addr = handle.addr().to_string();
+    // Two idle connections occupy the whole cap ...
+    let held1 = TcpStream::connect(&addr).expect("held conn 1");
+    let held2 = TcpStream::connect(&addr).expect("held conn 2");
+    std::thread::sleep(Duration::from_millis(150));
+    // ... so the third is turned away before a byte is read from it.
+    let mut third = TcpStream::connect(&addr).expect("third conn");
+    third
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut raw = String::new();
+    third.read_to_string(&mut raw).expect("read 429");
+    let (st, head, _) = split_response(&raw);
+    assert_eq!(st, 429, "over-cap connection must get 429: {raw}");
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after"),
+        "429 must carry Retry-After: {head}"
+    );
+    drop(held1);
+    drop(held2);
+    std::thread::sleep(Duration::from_millis(250));
+    let (st, _, metrics) = http(&addr, "GET", "/metrics?format=json", "");
+    assert_eq!(st, 200);
+    assert!(
+        metrics.contains("\"conns_rejected\":1"),
+        "metrics miss the rejected connection: {metrics}"
+    );
+    assert!(
+        metrics.contains("\"inflight_connections\":") && metrics.contains("\"queue_depth\":"),
+        "metrics miss the new gauges: {metrics}"
+    );
+    let (_, _, prom) = http(&addr, "GET", "/metrics", "");
+    assert!(
+        prom.contains("siterec_serve_conns_rejected_total 1")
+            && prom.contains("siterec_serve_inflight_connections")
+            && prom.contains("siterec_serve_queue_depth")
+            && prom.contains("siterec_serve_draining 0"),
+        "prometheus body misses admission/drain series: {prom}"
+    );
+    handle.shutdown();
+    handle.join();
+
+    // ---- Admission: the per-connection token bucket throttles scoring. --
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_cap: 64,
+        max_batch: 8,
+        cache_cap: 16,
+        max_requests: None,
+        score_timeout: Duration::from_secs(5),
+        read_timeout: Duration::from_millis(100),
+        rate: 0.001, // ~one token per 17 minutes: the burst is all you get
+        burst: 1.0,
+        ..ServeConfig::from_env()
+    };
+    let handle = start(EmbeddingStore::new(model.export_serving()), cfg, None).expect("bind");
+    let addr = handle.addr().to_string();
+    let stream = TcpStream::connect(&addr).expect("keep-alive conn");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut out = stream;
+    let (st, _, body) = exchange(
+        &mut reader,
+        &mut out,
+        "POST",
+        "/v1/score",
+        "{\"region\":0,\"type\":0}\n",
+    );
+    assert_eq!(st, 200, "burst token must admit the first score: {body}");
+    assert_eq!(score_bits(&body), offline[0].to_bits());
+    let (st, head, _) = exchange(
+        &mut reader,
+        &mut out,
+        "POST",
+        "/v1/score",
+        "{\"region\":1,\"type\":1}\n",
+    );
+    assert_eq!(st, 429, "empty bucket must answer 429");
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after"),
+        "429 must carry Retry-After: {head}"
+    );
+    // Health checks are never throttled — operators can always look.
+    let (st, _, _) = exchange(&mut reader, &mut out, "GET", "/healthz", "");
+    assert_eq!(st, 200, "healthz must bypass the token bucket");
+    let (st, _, metrics) = exchange(&mut reader, &mut out, "GET", "/metrics?format=json", "");
+    assert_eq!(st, 200);
+    assert!(
+        metrics.contains("\"rate_limited\":1"),
+        "metrics miss the throttled request: {metrics}"
+    );
+    drop(reader);
+    drop(out);
+    handle.shutdown();
+    handle.join();
+
+    // ---- Drain: graceful quiesce with a deterministic 503 refusal. ----
+    // The held connection's worker blocks in read for up to 5 s, so the
+    // score sent *after* `/admin/drain` is read and refused rather than the
+    // idle poll closing the connection first.
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_cap: 64,
+        max_batch: 8,
+        cache_cap: 16,
+        max_requests: None,
+        score_timeout: Duration::from_secs(5),
+        read_timeout: Duration::from_secs(5),
+        drain_timeout: Duration::from_secs(5),
+        ..ServeConfig::from_env()
+    };
+    let handle = start(EmbeddingStore::new(model.export_serving()), cfg, None).expect("bind");
+    let addr = handle.addr().to_string();
+    let stream = TcpStream::connect(&addr).expect("keep-alive conn");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut out = stream;
+    let (st, _, body) = exchange(
+        &mut reader,
+        &mut out,
+        "POST",
+        "/v1/score",
+        "{\"region\":0,\"type\":0}\n",
+    );
+    assert_eq!(st, 200);
+    assert_eq!(score_bits(&body), offline[0].to_bits());
+    let (st, _, body) = http(&addr, "POST", "/admin/drain", "");
+    assert_eq!(st, 200, "drain endpoint must acknowledge: {body}");
+    assert!(
+        body.contains("\"status\":\"draining\""),
+        "drain ack names the state: {body}"
+    );
+    let (st, head, body) = exchange(
+        &mut reader,
+        &mut out,
+        "POST",
+        "/v1/score",
+        "{\"region\":1,\"type\":1}\n",
+    );
+    assert_eq!(st, 503, "draining server must refuse new scores: {body}");
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after"),
+        "drain refusal must carry Retry-After: {head}"
+    );
+    assert!(
+        body.contains("draining"),
+        "drain refusal names the cause: {body}"
+    );
+    // The drain finishes on its own: every thread exits without shutdown().
+    handle.join();
+
+    // The journal carries exactly one schema-valid `serve_drain` record
+    // (the two shutdown() servers above never drained), and it abandoned
+    // nothing.
+    let text = obs::journal_to_string();
+    let stats = obs::validate_journal(&text).expect("journal validates");
+    assert_eq!(stats.count("serve_drain"), 1, "one drain journaled");
+    let line = text
+        .lines()
+        .find(|l| l.contains("\"type\":\"serve_drain\""))
+        .expect("serve_drain line");
+    let v = obs::json::parse(line).expect("serve_drain parses");
+    let num = |k: &str| v.get(k).and_then(|n| n.as_num()).expect(k);
+    assert_eq!(num("abandoned"), 0.0, "graceful drain abandoned jobs");
+    assert!(num("dur_ns") >= 0.0 && num("completed") >= 0.0 && num("refused") >= 0.0);
+
+    obs::reset();
+    obs::set_enabled(false);
+}

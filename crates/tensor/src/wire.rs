@@ -222,13 +222,19 @@ impl<'a> Reader<'a> {
     pub fn tensor(&mut self) -> Result<Tensor, DecodeError> {
         let rows = self.usize()?;
         let cols = self.usize()?;
+        // Both multiplications are checked: an adversarial or corrupt header
+        // can carry shapes whose element count fits `usize` but whose byte
+        // count does not, and `n * 4` unchecked would panic under
+        // debug-assertions (or wrap in release, defeating the bounds check).
         let n = rows
             .checked_mul(cols)
             .ok_or_else(|| DecodeError(format!("tensor shape {rows}x{cols} overflows")))?;
-        if self.remaining() < n * 4 {
+        let bytes = n.checked_mul(4).ok_or_else(|| {
+            DecodeError(format!("tensor shape {rows}x{cols} byte size overflows"))
+        })?;
+        if self.remaining() < bytes {
             return err(format!(
-                "truncated tensor: shape {rows}x{cols} needs {} bytes, have {}",
-                n * 4,
+                "truncated tensor: shape {rows}x{cols} needs {bytes} bytes, have {}",
                 self.remaining()
             ));
         }
@@ -298,6 +304,27 @@ mod tests {
         for (a, b) in back.data().iter().zip(t.data()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn corrupt_header_byte_count_overflow_is_an_error() {
+        // A header whose element count fits usize but whose byte count
+        // (n * 4) overflows must decode to a clean error, never a panic or
+        // a wrapped-length bounds check that admits a huge allocation.
+        let mut w = Writer::new();
+        w.usize(usize::MAX / 2); // rows
+        w.usize(1); // cols: n = usize::MAX / 2, n * 4 overflows
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let e = r.tensor().unwrap_err();
+        assert!(e.0.contains("overflow"), "unexpected error: {e}");
+
+        // rows * cols itself overflowing stays an error too.
+        let mut w2 = Writer::new();
+        w2.usize(usize::MAX);
+        w2.usize(2);
+        let bytes2 = w2.into_bytes();
+        assert!(Reader::new(&bytes2).tensor().is_err());
     }
 
     #[test]
